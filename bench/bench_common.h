@@ -1,0 +1,75 @@
+// Shared benchmark harness: builds a cluster per the paper's methodology (closed-loop
+// clients at fixed regions, warmup + measurement window) and returns its metrics.
+//
+// All benches accept an optional scale factor through the ATLAS_BENCH_SCALE
+// environment variable (default 1.0): client counts are multiplied and measurement
+// windows stretched accordingly, letting CI run quick passes and workstations run
+// paper-sized loads.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/harness/cluster.h"
+#include "src/harness/topology.h"
+#include "src/sim/regions.h"
+#include "src/wl/workload.h"
+
+namespace bench {
+
+inline double ScaleFactor() {
+  const char* env = std::getenv("ATLAS_BENCH_SCALE");
+  if (env == nullptr) {
+    return 1.0;
+  }
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline size_t ScaledClients(size_t base) {
+  double v = static_cast<double>(base) * ScaleFactor();
+  return v < 1 ? 1 : static_cast<size_t>(v);
+}
+
+struct RunSpec {
+  harness::ClusterOptions opts;
+  // Clients are placed per region (defaults to the 13 paper client locations
+  // restricted by placement below).
+  std::vector<size_t> client_regions;
+  size_t clients_per_region = 1;
+  std::shared_ptr<wl::Workload> workload;
+  common::Duration warmup = 2 * common::kSecond;
+  common::Duration measure = 5 * common::kSecond;
+};
+
+inline harness::Metrics RunOnce(const RunSpec& spec) {
+  harness::Cluster cluster(spec.opts);
+  for (size_t region : spec.client_regions) {
+    harness::ClientSpec cs;
+    cs.region = region;
+    cs.workload = spec.workload;
+    cluster.AddClients(cs, spec.clients_per_region);
+  }
+  cluster.SetMeasureWindow(spec.warmup, spec.warmup + spec.measure);
+  cluster.Start();
+  cluster.RunFor(spec.warmup + spec.measure);
+  return cluster.Snapshot();
+}
+
+inline const char* Pct(double ratio) {
+  static thread_local char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", ratio * 100.0);
+  return buf;
+}
+
+inline double Ms(common::Duration d) {
+  return static_cast<double>(d) / static_cast<double>(common::kMillisecond);
+}
+
+}  // namespace bench
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,81 @@
+// Figure 7 (§5.5): throughput vs latency at 5 sites as the per-site client count
+// doubles from 8 to 512, under moderate (10%) and high (100%) conflict rates, 3KB
+// payloads.
+//
+// Paper shape: Atlas f=1 is the fastest until saturation; EPaxos degrades faster with
+// load and collapses at 100% conflicts (latency >= 780ms); FPaxos is load-stable but
+// slower until the leader saturates; at the highest load Atlas f=2 overtakes f=1
+// because slow-path pruning (§4) shrinks execution batches.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using bench::RunOnce;
+using bench::RunSpec;
+using bench::ScaledClients;
+
+namespace {
+
+constexpr double kEgressBytesPerSec = 64.0 * 1024 * 1024;
+constexpr common::Duration kPerMessageCost = 20;
+
+struct Point {
+  double throughput = 0;
+  double latency_ms = 0;
+};
+
+Point Run(harness::Protocol protocol, uint32_t f, size_t clients_per_site,
+          double conflicts) {
+  RunSpec spec;
+  spec.opts.protocol = protocol;
+  spec.opts.f = f;
+  spec.opts.site_regions = sim::ScaleOutSites(5);
+  spec.opts.seed = 7 + clients_per_site;
+  spec.opts.egress_bytes_per_sec = kEgressBytesPerSec;
+  spec.opts.per_message_cost = kPerMessageCost;
+  spec.client_regions = spec.opts.site_regions;
+  spec.clients_per_region = clients_per_site;
+  spec.workload = std::make_shared<wl::MicroWorkload>(conflicts, 3 * 1024);
+  spec.warmup = 3 * common::kSecond;
+  spec.measure = 5 * common::kSecond;
+  harness::Metrics m = RunOnce(spec);
+  return Point{m.ThroughputOpsPerSec(), m.per_client_mean_us / 1000.0};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 7: throughput vs latency, 5 sites, growing load ===\n");
+  std::printf("(3KB payloads; per-site clients double 8..256; left: 10%% conflicts, "
+              "right: 100%%)\n\n");
+  struct Row {
+    const char* name;
+    harness::Protocol protocol;
+    uint32_t f;
+  };
+  const Row rows[] = {
+      {"FPaxos f=1", harness::Protocol::kFPaxos, 1},
+      {"EPaxos", harness::Protocol::kEPaxos, 1},
+      {"ATLAS f=1", harness::Protocol::kAtlas, 1},
+      {"ATLAS f=2", harness::Protocol::kAtlas, 2},
+  };
+  const size_t loads[] = {8, 16, 32, 64, 128, 256};
+  for (double conflicts : {0.10, 1.0}) {
+    std::printf("--- conflict rate %.0f%% ---\n", conflicts * 100);
+    std::printf("%-12s %-10s", "protocol", "clients");
+    std::printf("%14s %12s\n", "throughput", "latency");
+    for (const Row& row : rows) {
+      for (size_t load : loads) {
+        size_t per_site = ScaledClients(load);
+        Point p = Run(row.protocol, row.f, per_site, conflicts);
+        std::printf("%-12s %-10zu%11.0f op/s %9.0fms\n", row.name, per_site * 5,
+                    p.throughput, p.latency_ms);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("Paper shape: ATLAS f=1 fastest until saturation; EPaxos latency blows "
+              "up at 100%%\nconflicts; ATLAS f=2 degrades more gracefully at the "
+              "highest load (slow-path pruning).\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 9 (§5.7): YCSB throughput over the replicated KVS, 7 and 13 sites, four
+// read/write mixes, with and without the NFR optimization (* prefix).
+//
+// Paper shape: Atlas f=1 ~1.7x vanilla EPaxos on update-heavy; NFR adds up to ~33%
+// (most in read-only, where *EPaxos / *ATLAS f=2 match vanilla ATLAS f=1); overall
+// ATLAS+NFR beats vanilla EPaxos by 1.5-2.3x.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using bench::RunOnce;
+using bench::RunSpec;
+using bench::ScaledClients;
+
+namespace {
+
+double ThroughputKops(harness::Protocol protocol, uint32_t f, bool nfr, uint32_t sites,
+                      double read_pct, size_t clients_per_site) {
+  RunSpec spec;
+  spec.opts.protocol = protocol;
+  spec.opts.f = f;
+  spec.opts.nfr = nfr;
+  spec.opts.site_regions = sim::ScaleOutSites(sites);
+  spec.opts.seed = 9 + sites + static_cast<uint64_t>(read_pct * 10);
+  spec.client_regions = spec.opts.site_regions;
+  spec.clients_per_region = clients_per_site;
+  spec.workload = std::make_shared<wl::YcsbWorkload>(1'000'000, read_pct, 100);
+  spec.warmup = 3 * common::kSecond;
+  spec.measure = 6 * common::kSecond;
+  harness::Metrics m = RunOnce(spec);
+  return m.ThroughputOpsPerSec() / 1000.0;
+}
+
+}  // namespace
+
+int main() {
+  const size_t clients = ScaledClients(24);  // paper: 128 YCSB threads per site
+  std::printf("=== Figure 9: YCSB throughput (Kops/s), %zu clients/site ===\n",
+              clients);
+  std::printf("(1M records, Zipfian; * = NFR optimization enabled; speedup vs vanilla "
+              "EPaxos in parens)\n\n");
+  struct Mix {
+    const char* name;
+    double read_pct;
+  };
+  const Mix mixes[] = {{"20%-80%", 0.2}, {"50%-50%", 0.5}, {"80%-20%", 0.8},
+                       {"100%-0%", 1.0}};
+  struct Row {
+    const char* name;
+    harness::Protocol protocol;
+    uint32_t f;
+    bool nfr;
+  };
+  const Row rows[] = {
+      {"EPaxos", harness::Protocol::kEPaxos, 0, false},
+      {"*EPaxos", harness::Protocol::kEPaxos, 0, true},
+      {"ATLAS f=1", harness::Protocol::kAtlas, 1, false},
+      {"*ATLAS f=1", harness::Protocol::kAtlas, 1, true},
+      {"ATLAS f=2", harness::Protocol::kAtlas, 2, false},
+      {"*ATLAS f=2", harness::Protocol::kAtlas, 2, true},
+  };
+  for (uint32_t sites : {7u, 13u}) {
+    std::printf("--- %u sites ---\n", sites);
+    std::printf("%-12s", "protocol");
+    for (const Mix& mix : mixes) {
+      std::printf("%18s", mix.name);
+    }
+    std::printf("\n");
+    double epaxos_base[4] = {0, 0, 0, 0};
+    for (const Row& row : rows) {
+      std::printf("%-12s", row.name);
+      for (size_t mi = 0; mi < 4; mi++) {
+        uint32_t f = row.f == 0 ? 1 : row.f;  // EPaxos ignores f
+        double kops =
+            ThroughputKops(row.protocol, f, row.nfr, sites, mixes[mi].read_pct,
+                           clients);
+        if (row.protocol == harness::Protocol::kEPaxos && !row.nfr) {
+          epaxos_base[mi] = kops;
+        }
+        double speedup = epaxos_base[mi] > 0 ? kops / epaxos_base[mi] : 1.0;
+        std::printf("%10.1fK (%.1fx)", kops, speedup);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  std::printf("Paper shape: ATLAS f=1 ~1.7x EPaxos update-heavy; NFR adds up to 33%% "
+              "(read-only:\n*EPaxos/*ATLAS f=2 match vanilla ATLAS f=1); ATLAS+NFR "
+              "1.5-2.3x vanilla EPaxos.\n");
+  return 0;
+}

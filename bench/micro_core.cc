@@ -1,0 +1,119 @@
+// Microbenchmarks (google-benchmark) for the library's hot paths: dependency-set
+// algebra, codec, conflict index, the graph executor, and Zipfian sampling.
+#include <benchmark/benchmark.h>
+
+#include "src/codec/codec.h"
+#include "src/common/dep_set.h"
+#include "src/common/rng.h"
+#include "src/exec/graph_executor.h"
+#include "src/msg/message.h"
+#include "src/smr/conflict_index.h"
+
+namespace {
+
+using common::DepSet;
+using common::Dot;
+
+std::vector<DepSet> MakeReplies(size_t quorum, size_t deps_per_reply, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<DepSet> replies(quorum);
+  for (auto& r : replies) {
+    for (size_t i = 0; i < deps_per_reply; i++) {
+      r.Insert(Dot{static_cast<common::ProcessId>(rng.Below(5)), 1 + rng.Below(32)});
+    }
+  }
+  return replies;
+}
+
+void BM_DepSetUnion(benchmark::State& state) {
+  auto replies = MakeReplies(static_cast<size_t>(state.range(0)), 8, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(common::Union(replies));
+  }
+}
+BENCHMARK(BM_DepSetUnion)->Arg(4)->Arg(8);
+
+void BM_DepSetThresholdUnion(benchmark::State& state) {
+  auto replies = MakeReplies(static_cast<size_t>(state.range(0)), 8, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(common::ThresholdUnion(replies, 2));
+  }
+}
+BENCHMARK(BM_DepSetThresholdUnion)->Arg(4)->Arg(8);
+
+void BM_FastPathCondition(benchmark::State& state) {
+  auto replies = MakeReplies(7, static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(common::FastPathCondition(replies, 2));
+  }
+}
+BENCHMARK(BM_FastPathCondition)->Arg(2)->Arg(16);
+
+void BM_MessageEncodeDecode(benchmark::State& state) {
+  msg::MCollect m;
+  m.dot = Dot{3, 12345};
+  m.cmd = smr::MakePut(7, 99, "user001234", std::string(static_cast<size_t>(
+                                                state.range(0)), 'x'));
+  m.past = DepSet{Dot{0, 1}, Dot{1, 2}, Dot{2, 3}};
+  m.quorum = common::Quorum::Of({0, 1, 2, 3});
+  msg::Message wrapped = m;
+  for (auto _ : state) {
+    codec::Writer w;
+    msg::Encode(w, wrapped);
+    codec::Reader r(w.buffer());
+    msg::Message out;
+    bool ok = msg::Decode(r, out);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(msg::EncodedSize(wrapped)));
+}
+BENCHMARK(BM_MessageEncodeDecode)->Arg(100)->Arg(3072);
+
+void BM_ConflictIndex(benchmark::State& state) {
+  bool compressed = state.range(0) == 1;
+  smr::KeyConflictIndex idx(compressed ? smr::IndexMode::kCompressed
+                                       : smr::IndexMode::kFull);
+  common::Rng rng(5);
+  uint64_t seq = 1;
+  for (auto _ : state) {
+    Dot dot{static_cast<common::ProcessId>(rng.Below(5)), seq++};
+    smr::Command cmd = smr::MakePut(1, seq, "key" + std::to_string(rng.Below(64)), "v");
+    benchmark::DoNotOptimize(idx.Conflicts(cmd, dot));
+    idx.Record(dot, cmd);
+  }
+}
+BENCHMARK(BM_ConflictIndex)->Arg(1)->ArgName("compressed");
+
+void BM_GraphExecutorChain(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    uint64_t executed = 0;
+    exec::GraphExecutor ex(exec::BatchOrder::kDot,
+                           [&](const Dot&, const smr::Command&) { executed++; });
+    state.ResumeTiming();
+    const uint64_t n = 1000;
+    for (uint64_t i = 1; i <= n; i++) {
+      DepSet deps;
+      if (i > 1) {
+        deps.Insert(Dot{0, i - 1});
+      }
+      ex.Commit(Dot{0, i}, smr::MakePut(1, i, "k", "v"), deps);
+    }
+    benchmark::DoNotOptimize(executed);
+  }
+}
+BENCHMARK(BM_GraphExecutorChain);
+
+void BM_Zipf(benchmark::State& state) {
+  common::Zipf zipf(1'000'000, 0.99);
+  common::Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_Zipf);
+
+}  // namespace
+
+BENCHMARK_MAIN();

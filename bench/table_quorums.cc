@@ -1,0 +1,81 @@
+// Quorum-size table (§3.3 and §6 discussion): fast/slow quorum sizes of Atlas vs the
+// EPaxos-class protocols across deployment sizes, plus the analytic closest-quorum
+// latency they imply on the 13-site WAN (why smaller quorums matter).
+#include <cstdio>
+
+#include "src/core/config.h"
+#include "src/epaxos/epaxos.h"
+#include "src/harness/topology.h"
+#include "src/sim/regions.h"
+
+namespace {
+
+common::Duration QuorumRttFrom(size_t site, const std::vector<size_t>& sites,
+                               size_t quorum_size) {
+  const auto& regions = sim::AllRegions();
+  std::vector<common::Duration> rtts;
+  for (size_t j = 0; j < sites.size(); j++) {
+    if (j != site) {
+      rtts.push_back(sim::ModeledRtt(regions[sites[site]], regions[sites[j]]));
+    }
+  }
+  std::sort(rtts.begin(), rtts.end());
+  if (quorum_size <= 1) {
+    return 0;
+  }
+  return rtts[quorum_size - 2];
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Quorum sizes: ATLAS floor(n/2)+f vs EPaxos ~3n/4 (§3.3) ===\n\n");
+  std::printf("%4s %10s %10s %10s %10s %10s %12s\n", "n", "majority", "ATLAS f=1",
+              "ATLAS f=2", "ATLAS f=3", "EPaxos", "ATLAS slow");
+  for (uint32_t n : {3u, 5u, 7u, 9u, 11u, 13u}) {
+    epaxos::Config ep;
+    ep.n = n;
+    std::printf("%4u %10zu", n, static_cast<size_t>(n / 2 + 1));
+    for (uint32_t f : {1u, 2u, 3u}) {
+      if (f <= (n - 1) / 2) {
+        atlas::Config cfg;
+        cfg.n = n;
+        cfg.f = f;
+        std::printf(" %10zu", cfg.FastQuorumSize());
+      } else {
+        std::printf(" %10s", "-");
+      }
+    }
+    atlas::Config slow;
+    slow.n = n;
+    slow.f = 2 <= (n - 1) / 2 ? 2 : 1;
+    std::printf(" %10zu %11zu\n", ep.FastQuorumSize(), slow.SlowQuorumSize());
+  }
+
+  std::printf("\n=== Implied closest-fast-quorum RTT per coordinator (13 sites) ===\n\n");
+  auto sites = sim::ScaleOutSites(13);
+  atlas::Config a1, a2;
+  a1.n = 13;
+  a1.f = 1;
+  a2.n = 13;
+  a2.f = 2;
+  epaxos::Config ep;
+  ep.n = 13;
+  std::printf("%-6s %14s %14s %14s\n", "site", "ATLAS f=1", "ATLAS f=2", "EPaxos");
+  double sum[3] = {0, 0, 0};
+  for (size_t s = 0; s < sites.size(); s++) {
+    double v1 = static_cast<double>(QuorumRttFrom(s, sites, a1.FastQuorumSize())) / 1000;
+    double v2 = static_cast<double>(QuorumRttFrom(s, sites, a2.FastQuorumSize())) / 1000;
+    double v3 = static_cast<double>(QuorumRttFrom(s, sites, ep.FastQuorumSize())) / 1000;
+    sum[0] += v1;
+    sum[1] += v2;
+    sum[2] += v3;
+    std::printf("%-6s %12.0fms %12.0fms %12.0fms\n", sim::AllRegions()[sites[s]].label,
+                v1, v2, v3);
+  }
+  std::printf("%-6s %12.0fms %12.0fms %12.0fms\n", "avg", sum[0] / 13, sum[1] / 13,
+              sum[2] / 13);
+  std::printf("\nSmaller f => smaller fast quorums => closer quorums => lower latency "
+              "(the core\nATLAS trade-off: fault tolerance for scalability).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Geo-replication demo: deploys Atlas and its competitors over the 13-site WAN model
+// (the paper's planet-scale scenario) and prints a per-protocol latency comparison for
+// clients in three different continents — the "same quality of service wherever the
+// client is" claim of §1.
+//
+//   $ ./build/examples/geo_demo
+#include <cstdio>
+#include <memory>
+
+#include "src/harness/cluster.h"
+#include "src/harness/topology.h"
+#include "src/sim/regions.h"
+#include "src/wl/workload.h"
+
+namespace {
+
+// Mean latency for a single client at `label`, on a fresh 13-site deployment of the
+// given protocol (one cluster per data point keeps the measurements independent).
+double RunSingleClient(harness::Protocol protocol, uint32_t f, const char* label) {
+  harness::ClusterOptions opts;
+  opts.protocol = protocol;
+  opts.f = f;
+  opts.site_regions = sim::ScaleOutSites(13);
+  opts.seed = 99;
+  harness::Cluster cluster(opts);
+  harness::ClientSpec spec;
+  spec.region = sim::RegionIndexByLabel(label);
+  spec.workload = std::make_shared<wl::MicroWorkload>(0.02, 100);
+  spec.max_ops = 60;
+  cluster.AddClients(spec, 1);
+  cluster.SetMeasureWindow(0, 300 * common::kSecond);
+  cluster.Start();
+  cluster.RunFor(300 * common::kSecond);
+  return cluster.Snapshot().latency.Mean() / 1000.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== 13-site planet-scale deployment: client latency by location ===\n\n");
+  std::printf("Sites: ");
+  for (size_t r : sim::ScaleOutSites(13)) {
+    std::printf("%s ", sim::AllRegions()[r].label);
+  }
+  std::printf("\n\n%-22s %10s %10s %10s\n", "protocol", "Belgium", "S.Carolina",
+              "Sydney");
+
+  struct Row {
+    const char* name;
+    harness::Protocol protocol;
+    uint32_t f;
+  };
+  const Row rows[] = {
+      {"ATLAS f=1", harness::Protocol::kAtlas, 1},
+      {"ATLAS f=2", harness::Protocol::kAtlas, 2},
+      {"EPaxos", harness::Protocol::kEPaxos, 1},
+      {"FPaxos f=1 (leader)", harness::Protocol::kFPaxos, 1},
+      {"Mencius", harness::Protocol::kMencius, 1},
+  };
+  for (const Row& row : rows) {
+    std::printf("%-22s", row.name);
+    for (const char* label : {"BE", "SC", "SY"}) {
+      std::printf("%8.0fms ", RunSingleClient(row.protocol, row.f, label));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nLeaderless ATLAS serves every region from its closest quorum; the "
+              "leader-based\nprotocol is only fast near its leader, and Mencius runs "
+              "at the speed of the\nslowest replica from everywhere.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Real-runtime example: a 3-replica Atlas KVS over actual TCP sockets (localhost),
+// exercised by a client issuing reads and writes — the same engines that run on the
+// simulator, driven by the epoll runtime.
+//
+//   $ ./build/examples/kvs_cluster
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "src/core/atlas.h"
+#include "src/kvs/kvs.h"
+#include "src/rt/node.h"
+
+int main() {
+  constexpr uint32_t kReplicas = 3;
+  const uint16_t base_port = static_cast<uint16_t>(39000 + (getpid() % 1000));
+
+  std::vector<rt::PeerAddress> addrs;
+  for (uint32_t i = 0; i < kReplicas; i++) {
+    addrs.push_back(rt::PeerAddress{"127.0.0.1", static_cast<uint16_t>(base_port + i)});
+  }
+
+  std::vector<std::unique_ptr<atlas::AtlasEngine>> engines;
+  std::vector<std::unique_ptr<kvs::KvStore>> stores;
+  std::vector<std::unique_ptr<rt::Node>> nodes;
+  for (uint32_t i = 0; i < kReplicas; i++) {
+    atlas::Config config;
+    config.n = kReplicas;
+    config.f = 1;
+    engines.push_back(std::make_unique<atlas::AtlasEngine>(config));
+    stores.push_back(std::make_unique<kvs::KvStore>());
+    nodes.push_back(
+        std::make_unique<rt::Node>(i, addrs, engines[i].get(), stores[i].get()));
+    if (!nodes.back()->Listen()) {
+      std::fprintf(stderr, "failed to bind port %u\n", addrs[i].port);
+      return 1;
+    }
+  }
+  std::printf("3 ATLAS replicas listening on 127.0.0.1:%u..%u\n", base_port,
+              base_port + kReplicas - 1);
+
+  std::vector<std::thread> threads;
+  for (uint32_t i = 0; i < kReplicas; i++) {
+    threads.emplace_back([&, i]() { nodes[i]->Run(); });
+  }
+
+  // Clients talk to different replicas; SMR keeps them linearizable.
+  rt::Client alice("127.0.0.1", addrs[0].port);
+  rt::Client bob("127.0.0.1", addrs[2].port);
+  for (int attempt = 0; attempt < 100 && !alice.Connect(); attempt++) {
+    usleep(20 * 1000);
+  }
+  if (!bob.Connect()) {
+    std::fprintf(stderr, "client connect failed\n");
+    return 1;
+  }
+
+  std::string result;
+  auto call = [&](rt::Client& c, const char* who, const smr::Command& cmd) {
+    if (!c.Call(cmd, &result)) {
+      std::fprintf(stderr, "%s: call failed\n", who);
+      exit(1);
+    }
+    std::printf("  %s: %-22s -> \"%s\"\n", who, cmd.ToString().c_str(), result.c_str());
+  };
+
+  std::printf("\nalice (replica 0) and bob (replica 2):\n");
+  call(alice, "alice", smr::MakePut(1, 1, "tea", "green"));
+  call(bob, "bob  ", smr::MakeGet(2, 1, "tea"));       // sees alice's write
+  call(bob, "bob  ", smr::MakeRmw(2, 2, "tea", "+milk"));
+  call(alice, "alice", smr::MakeGet(1, 2, "tea"));     // sees bob's update
+
+  for (auto& node : nodes) {
+    node->Stop();
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  std::printf("\nreplica digests: %016llx %016llx %016llx\n",
+              static_cast<unsigned long long>(stores[0]->StateDigest()),
+              static_cast<unsigned long long>(stores[1]->StateDigest()),
+              static_cast<unsigned long long>(stores[2]->StateDigest()));
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: a 5-replica Atlas cluster on the deterministic simulator, replicating an
+// in-memory key-value store. Shows the three things a user touches: engines, a
+// state machine, and the executed-command callback.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/core/atlas.h"
+#include "src/kvs/kvs.h"
+#include "src/sim/simulator.h"
+
+int main() {
+  constexpr uint32_t kReplicas = 5;
+
+  // 1. A simulated network: 25ms one-way latency between any two replicas.
+  sim::Simulator::Options opts;
+  opts.seed = 2020;
+  sim::Simulator simulator(
+      std::make_unique<sim::UniformLatency>(25 * common::kMillisecond, 0), opts);
+
+  // 2. One Atlas engine and one KVS replica per process. f = 1: fast quorums are plain
+  //    majorities and every command commits on the fast path (§3.3).
+  std::vector<std::unique_ptr<atlas::AtlasEngine>> engines;
+  std::vector<kvs::KvStore> stores(kReplicas);
+  for (uint32_t i = 0; i < kReplicas; i++) {
+    atlas::Config config;
+    config.n = kReplicas;
+    config.f = 1;
+    engines.push_back(std::make_unique<atlas::AtlasEngine>(config));
+    simulator.AddEngine(engines.back().get());
+  }
+
+  // 3. Executed commands are applied to each replica's local state machine.
+  simulator.SetExecutedHandler([&](common::ProcessId p, const common::Dot& dot,
+                                   const smr::Command& cmd) {
+    std::string result = stores[p].Apply(cmd);
+    if (p == 0) {  // print the coordinator-side view once
+      std::printf("  [%6.1fms] replica %u executed %-18s -> \"%s\"\n",
+                  static_cast<double>(simulator.Now()) / 1000.0, p,
+                  cmd.ToString().c_str(), result.c_str());
+    }
+  });
+  simulator.SetCommittedHandler([&](common::ProcessId p, const common::Dot& dot,
+                                    const smr::Command& cmd, bool fast) {
+    if (p == dot.proc) {
+      std::printf("  [%6.1fms] %s committed via the %s path\n",
+                  static_cast<double>(simulator.Now()) / 1000.0,
+                  cmd.ToString().c_str(), fast ? "fast" : "slow");
+    }
+  });
+  simulator.Start();
+
+  std::printf("submitting commands at different replicas...\n");
+  simulator.Submit(0, smr::MakePut(/*client=*/1, /*seq=*/1, "melon", "sweet"));
+  simulator.Submit(2, smr::MakePut(/*client=*/2, /*seq=*/1, "lemon", "sour"));
+  // Two conflicting writes submitted concurrently at opposite ends of the world:
+  simulator.Submit(1, smr::MakePut(/*client=*/3, /*seq=*/1, "melon", "ripe"));
+  simulator.RunUntilIdle();
+
+  simulator.Submit(4, smr::MakeGet(/*client=*/4, /*seq=*/1, "melon"));
+  simulator.RunUntilIdle();
+
+  // All replicas converged.
+  std::printf("\nreplica state digests: ");
+  for (uint32_t i = 0; i < kReplicas; i++) {
+    std::printf("%016llx ", static_cast<unsigned long long>(stores[i].StateDigest()));
+  }
+  std::printf("\n(all equal: the conflicting writes executed in the same order "
+              "everywhere)\n");
+  return 0;
+}

@@ -1,0 +1,223 @@
+#include "src/chk/checker.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace chk {
+
+std::string CheckResult::Describe() const {
+  if (ok) {
+    return "OK";
+  }
+  std::string out = "FAILED:\n";
+  for (const auto& e : errors) {
+    out += "  - " + e + "\n";
+  }
+  return out;
+}
+
+HistoryChecker::HistoryChecker(uint32_t n, const smr::ConflictModel* model)
+    : n_(n), model_(model != nullptr ? model : &default_model_) {
+  exec_index_.resize(n);
+  exec_counter_.assign(n, 0);
+}
+
+void HistoryChecker::OnSubmit(const smr::Command& cmd, common::Time now,
+                              common::ProcessId home) {
+  CmdKey key{cmd.client, cmd.seq};
+  CmdInfo& info = commands_[key];
+  info.cmd = cmd;
+  info.submit_time = now;
+  info.submitted = true;
+  info.home = home;
+}
+
+void HistoryChecker::OnExecute(common::ProcessId p, const smr::Command& cmd,
+                               common::Time now) {
+  if (cmd.is_noop()) {
+    return;  // noOps are "not executed by the protocol" (§3.2.6)
+  }
+  CHECK_LT(p, n_);
+  CmdKey key{cmd.client, cmd.seq};
+  total_executions_++;
+  uint64_t order = exec_counter_[p]++;
+  exec_index_[p][key] = order;  // duplicate detection happens in Validate
+
+  CmdInfo& info = commands_[key];
+  if (info.first_exec_time < 0) {
+    info.first_exec_time = now;
+    info.cmd = info.submitted ? info.cmd : cmd;
+  }
+
+  if (nfr_mode_ && cmd.is_read() && info.home != common::kInvalidProcess &&
+      info.home != p) {
+    // NFR: executions of a read away from its home site are not externally visible
+    // and carry no ordering obligation (§B.4).
+    return;
+  }
+
+  auto track_key = [&](const std::string& k) {
+    auto& seqs = per_key_[k];
+    if (seqs.empty()) {
+      seqs.resize(n_);
+    }
+    seqs[p].push_back(key);
+  };
+  if (!cmd.key.empty() || cmd.op != smr::Op::kNoOp) {
+    track_key(cmd.key);
+  }
+  for (const auto& k : cmd.more_keys) {
+    track_key(k);
+  }
+}
+
+void HistoryChecker::OnStateDigest(common::ProcessId p, uint64_t digest,
+                                   uint64_t executed_count) {
+  (void)p;
+  digests_.emplace_back(digest, executed_count);
+}
+
+void HistoryChecker::CheckKeySequences(CheckResult& result) const {
+  // For every state key and every pair of conflicting commands on it, all processes
+  // that executed both must agree on their relative order.
+  for (const auto& [state_key, seqs] : per_key_) {
+    // Reference order: the process with the longest sequence.
+    size_t ref = 0;
+    for (size_t p = 1; p < seqs.size(); p++) {
+      if (seqs[p].size() > seqs[ref].size()) {
+        ref = p;
+      }
+    }
+    if (seqs[ref].empty()) {
+      continue;
+    }
+    std::unordered_map<CmdKey, uint64_t, CmdKeyHash> ref_pos;
+    for (size_t i = 0; i < seqs[ref].size(); i++) {
+      ref_pos[seqs[ref][i]] = i;
+    }
+    for (size_t p = 0; p < seqs.size(); p++) {
+      if (p == ref || seqs[p].empty()) {
+        continue;
+      }
+      // Project process p's sequence onto commands known to ref; for conflicting pairs
+      // the ref positions must be increasing.
+      int64_t last_write_pos = -1;          // ref position of last write seen
+      std::vector<uint64_t> reads_since;    // ref positions of reads since that write
+      for (const CmdKey& ck : seqs[p]) {
+        auto it = ref_pos.find(ck);
+        if (it == ref_pos.end()) {
+          continue;  // ref did not execute it (e.g. crashed before)
+        }
+        auto cit = commands_.find(ck);
+        bool is_read = cit != commands_.end() && cit->second.cmd.is_read();
+        int64_t pos = static_cast<int64_t>(it->second);
+        if (is_read) {
+          // Reads must come after the last conflicting write both executed.
+          if (pos < last_write_pos) {
+            result.Fail("key '" + state_key + "': process " + std::to_string(p) +
+                        " ordered a read before a conflicting write that ref process " +
+                        std::to_string(ref) + " ordered after");
+          }
+          reads_since.push_back(static_cast<uint64_t>(pos));
+        } else {
+          if (pos < last_write_pos) {
+            result.Fail("key '" + state_key + "': write order differs between process " +
+                        std::to_string(p) + " and process " + std::to_string(ref));
+          }
+          for (uint64_t rp : reads_since) {
+            if (pos < static_cast<int64_t>(rp)) {
+              result.Fail("key '" + state_key + "': process " + std::to_string(p) +
+                          " ordered a write before a conflicting read that ref ordered "
+                          "after");
+              break;
+            }
+          }
+          reads_since.clear();
+          last_write_pos = pos;
+        }
+      }
+    }
+  }
+}
+
+void HistoryChecker::CheckRealTime(CheckResult& result) const {
+  // For conflicting pairs: if c's first execution anywhere precedes d's submission,
+  // every process executing both must order c before d.
+  for (const auto& [state_key, seqs] : per_key_) {
+    // Collect commands on this key with their times.
+    std::vector<CmdKey> cmds;
+    for (const auto& s : seqs) {
+      cmds.insert(cmds.end(), s.begin(), s.end());
+    }
+    std::sort(cmds.begin(), cmds.end());
+    cmds.erase(std::unique(cmds.begin(), cmds.end()), cmds.end());
+    for (const CmdKey& a : cmds) {
+      auto ia = commands_.find(a);
+      if (ia == commands_.end() || ia->second.first_exec_time < 0) {
+        continue;
+      }
+      for (const CmdKey& b : cmds) {
+        if (a == b) {
+          continue;
+        }
+        auto ib = commands_.find(b);
+        if (ib == commands_.end() || !ib->second.submitted) {
+          continue;
+        }
+        if (!model_->Conflicts(ia->second.cmd, ib->second.cmd)) {
+          continue;
+        }
+        if (ia->second.first_exec_time >= ib->second.submit_time) {
+          continue;  // no real-time edge a -> b
+        }
+        for (uint32_t p = 0; p < n_; p++) {
+          auto pa = exec_index_[p].find(a);
+          auto pb = exec_index_[p].find(b);
+          if (pa != exec_index_[p].end() && pb != exec_index_[p].end() &&
+              pa->second > pb->second) {
+            result.Fail("real-time violation on key '" + state_key + "' at process " +
+                        std::to_string(p));
+          }
+        }
+      }
+    }
+  }
+}
+
+CheckResult HistoryChecker::Validate() const {
+  CheckResult result;
+  // Validity + Integrity.
+  std::vector<uint64_t> per_proc_execs(n_, 0);
+  for (uint32_t p = 0; p < n_; p++) {
+    per_proc_execs[p] = exec_index_[p].size();
+  }
+  uint64_t distinct_execs = 0;
+  for (uint32_t p = 0; p < n_; p++) {
+    distinct_execs += per_proc_execs[p];
+  }
+  if (distinct_execs != total_executions_) {
+    result.Fail("Integrity: " + std::to_string(total_executions_ - distinct_execs) +
+                " duplicate executions detected");
+  }
+  for (const auto& [key, info] : commands_) {
+    if (info.first_exec_time >= 0 && !info.submitted) {
+      result.Fail("Validity: executed command <" + std::to_string(key.client) + "," +
+                  std::to_string(key.seq) + "> was never submitted");
+    }
+  }
+  CheckKeySequences(result);
+  CheckRealTime(result);
+  // Convergence: digests with equal executed_count must match.
+  for (size_t i = 0; i < digests_.size(); i++) {
+    for (size_t j = i + 1; j < digests_.size(); j++) {
+      if (digests_[i].second == digests_[j].second &&
+          digests_[i].first != digests_[j].first) {
+        result.Fail("Convergence: replicas with equal execution counts diverge");
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace chk

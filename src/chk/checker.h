@@ -1,0 +1,123 @@
+// Execution-history checker for the SMR specification of §2:
+//   Validity  — only submitted commands execute;
+//   Integrity — each command executes at most once per process;
+//   Ordering  — conflicting commands execute in a consistent order everywhere, and the
+//               order respects real time (a command executed before another was
+//               submitted must precede it at every process).
+// Plus replica convergence: state digests must match across replicas that executed the
+// same number of commands after quiescence.
+//
+// Every integration test runs its cluster through this checker. Per the paper's §3.4 /
+// §B, these properties imply linearizability of the replicated service.
+#ifndef SRC_CHK_CHECKER_H_
+#define SRC_CHK_CHECKER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/smr/command.h"
+#include "src/smr/conflict.h"
+
+namespace chk {
+
+// Unique command key: (client, seq).
+struct CmdKey {
+  uint64_t client = 0;
+  uint64_t seq = 0;
+
+  friend bool operator==(const CmdKey& a, const CmdKey& b) {
+    return a.client == b.client && a.seq == b.seq;
+  }
+  friend bool operator<(const CmdKey& a, const CmdKey& b) {
+    if (a.client != b.client) {
+      return a.client < b.client;
+    }
+    return a.seq < b.seq;
+  }
+};
+
+struct CmdKeyHash {
+  size_t operator()(const CmdKey& k) const {
+    uint64_t x = k.client * 0x9e3779b97f4a7c15ull ^ k.seq;
+    x ^= x >> 31;
+    x *= 0xbf58476d1ce4e5b9ull;
+    return static_cast<size_t>(x ^ (x >> 29));
+  }
+};
+
+struct CheckResult {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void Fail(std::string message) {
+    ok = false;
+    if (errors.size() < 32) {  // cap noise
+      errors.push_back(std::move(message));
+    }
+  }
+  std::string Describe() const;
+};
+
+class HistoryChecker {
+ public:
+  explicit HistoryChecker(uint32_t n, const smr::ConflictModel* model = nullptr);
+
+  // NFR mode (§4/§B.4): reads are excluded from other commands' dependencies, so
+  // replicas may execute a read at different points relative to concurrent writes.
+  // Only the execution at the read's home site (its caller's replica) is externally
+  // visible; in NFR mode the checker validates exactly that execution. Writes are
+  // checked across all replicas either way.
+  void SetNfrMode(bool nfr) { nfr_mode_ = nfr; }
+
+  // Call sites (harness hooks). home is the replica serving the submitting client
+  // (kInvalidProcess when unknown).
+  void OnSubmit(const smr::Command& cmd, common::Time now,
+                common::ProcessId home = common::kInvalidProcess);
+  void OnExecute(common::ProcessId p, const smr::Command& cmd, common::Time now);
+  void OnStateDigest(common::ProcessId p, uint64_t digest, uint64_t executed_count);
+
+  // Validates the recorded history.
+  CheckResult Validate() const;
+
+  uint64_t total_executions() const { return total_executions_; }
+
+ private:
+  struct Execution {
+    CmdKey key;
+    uint64_t order = 0;  // per-process execution index
+  };
+
+  struct CmdInfo {
+    smr::Command cmd;
+    common::Time submit_time = 0;
+    common::Time first_exec_time = -1;
+    bool submitted = false;
+    common::ProcessId home = common::kInvalidProcess;
+  };
+
+  void CheckKeySequences(CheckResult& result) const;
+  void CheckRealTime(CheckResult& result) const;
+
+  uint32_t n_;
+  const smr::ConflictModel* model_;
+  smr::KeyConflictModel default_model_;
+  bool nfr_mode_ = false;
+
+  std::unordered_map<CmdKey, CmdInfo, CmdKeyHash> commands_;
+  // Per process: execution order index per command.
+  std::vector<std::unordered_map<CmdKey, uint64_t, CmdKeyHash>> exec_index_;
+  std::vector<uint64_t> exec_counter_;
+  // Per (state key, process): execution sequence of commands touching that key.
+  std::map<std::string, std::vector<std::vector<CmdKey>>> per_key_;
+  std::vector<std::pair<uint64_t, uint64_t>> digests_;  // (digest, executed_count)
+  uint64_t total_executions_ = 0;
+};
+
+}  // namespace chk
+
+#endif  // SRC_CHK_CHECKER_H_

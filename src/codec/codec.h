@@ -1,0 +1,78 @@
+// Binary serialization used by every protocol message and the TCP transport framing.
+//
+// Format: little-endian fixed-width integers for sized fields, LEB128 varints for
+// counts/ids, length-prefixed byte strings. Decoding is bounds-checked and never reads
+// past the buffer; a failed decode poisons the Reader (ok() == false) rather than
+// aborting, so malformed network input cannot crash a replica.
+#ifndef SRC_CODEC_CODEC_H_
+#define SRC_CODEC_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/dep_set.h"
+#include "src/common/types.h"
+
+namespace codec {
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void Varint(uint64_t v);
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void Bytes(std::string_view s);
+  void Dot(const common::Dot& d);
+  void Deps(const common::DepSet& deps);
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+  void Reserve(size_t n) { buf_.reserve(n); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit Reader(const std::vector<uint8_t>& buf) : Reader(buf.data(), buf.size()) {}
+
+  uint8_t U8();
+  uint32_t U32();
+  uint64_t U64();
+  uint64_t Varint();
+  bool Bool() { return U8() != 0; }
+  std::string Bytes();
+  common::Dot Dot();
+  common::DepSet Deps();
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace codec
+
+#endif  // SRC_CODEC_CODEC_H_

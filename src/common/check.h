@@ -1,0 +1,43 @@
+// Lightweight assertion macros for invariant enforcement on protocol paths.
+//
+// CHECK* macros are always on (protocol invariants must hold in release builds too;
+// a violated invariant means replica divergence, which is strictly worse than a crash).
+// DCHECK* compiles out in NDEBUG builds and is used on hot paths.
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace common {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace common
+
+#define CHECK(expr)                                    \
+  do {                                                 \
+    if (!(expr)) {                                     \
+      ::common::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                  \
+  } while (0)
+
+#define CHECK_EQ(a, b) CHECK((a) == (b))
+#define CHECK_NE(a, b) CHECK((a) != (b))
+#define CHECK_LT(a, b) CHECK((a) < (b))
+#define CHECK_LE(a, b) CHECK((a) <= (b))
+#define CHECK_GT(a, b) CHECK((a) > (b))
+#define CHECK_GE(a, b) CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define DCHECK(expr) \
+  do {               \
+  } while (0)
+#else
+#define DCHECK(expr) CHECK(expr)
+#endif
+
+#endif  // SRC_COMMON_CHECK_H_

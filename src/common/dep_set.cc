@@ -1,0 +1,150 @@
+#include "src/common/dep_set.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/check.h"
+
+namespace common {
+
+DepSet::DepSet(std::initializer_list<Dot> dots) : dots_(dots) {
+  std::sort(dots_.begin(), dots_.end());
+  dots_.erase(std::unique(dots_.begin(), dots_.end()), dots_.end());
+}
+
+DepSet::DepSet(std::vector<Dot> dots) : dots_(std::move(dots)) {
+  std::sort(dots_.begin(), dots_.end());
+  dots_.erase(std::unique(dots_.begin(), dots_.end()), dots_.end());
+}
+
+void DepSet::Insert(const Dot& d) {
+  auto it = std::lower_bound(dots_.begin(), dots_.end(), d);
+  if (it != dots_.end() && *it == d) {
+    return;
+  }
+  dots_.insert(it, d);
+}
+
+bool DepSet::Contains(const Dot& d) const {
+  return std::binary_search(dots_.begin(), dots_.end(), d);
+}
+
+void DepSet::Remove(const Dot& d) {
+  auto it = std::lower_bound(dots_.begin(), dots_.end(), d);
+  if (it != dots_.end() && *it == d) {
+    dots_.erase(it);
+  }
+}
+
+void DepSet::UnionWith(const DepSet& other) {
+  if (other.empty()) {
+    return;
+  }
+  std::vector<Dot> merged;
+  merged.reserve(dots_.size() + other.dots_.size());
+  std::set_union(dots_.begin(), dots_.end(), other.dots_.begin(), other.dots_.end(),
+                 std::back_inserter(merged));
+  dots_ = std::move(merged);
+}
+
+std::string DepSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < dots_.size(); i++) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += common::ToString(dots_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+// Merge all replies into a (dot, count) list in one pass over sorted vectors.
+// Reply sets are tiny, so a simple k-way merge via repeated two-way merging is fine.
+std::vector<std::pair<Dot, uint32_t>> CountOccurrences(const std::vector<DepSet>& replies) {
+  std::vector<std::pair<Dot, uint32_t>> counts;
+  for (const DepSet& r : replies) {
+    std::vector<std::pair<Dot, uint32_t>> merged;
+    merged.reserve(counts.size() + r.size());
+    auto ai = counts.begin();
+    auto bi = r.begin();
+    while (ai != counts.end() && bi != r.end()) {
+      if (ai->first < *bi) {
+        merged.push_back(*ai++);
+      } else if (*bi < ai->first) {
+        merged.emplace_back(*bi++, 1);
+      } else {
+        merged.emplace_back(ai->first, ai->second + 1);
+        ++ai;
+        ++bi;
+      }
+    }
+    merged.insert(merged.end(), ai, counts.end());
+    for (; bi != r.end(); ++bi) {
+      merged.emplace_back(*bi, 1);
+    }
+    counts = std::move(merged);
+  }
+  return counts;
+}
+
+}  // namespace
+
+DepSet Union(const std::vector<DepSet>& replies) {
+  DepSet out;
+  for (const DepSet& r : replies) {
+    out.UnionWith(r);
+  }
+  return out;
+}
+
+DepSet ThresholdUnion(const std::vector<DepSet>& replies, size_t threshold) {
+  CHECK_GE(threshold, 1u);
+  std::vector<Dot> kept;
+  for (const auto& [dot, count] : CountOccurrences(replies)) {
+    if (count >= threshold) {
+      kept.push_back(dot);
+    }
+  }
+  return DepSet(std::move(kept));
+}
+
+DepSet ThresholdUnionByProc(const std::vector<DepSet>& replies, size_t threshold) {
+  CHECK_GE(threshold, 1u);
+  // Count, per originating process, how many replies mention at least one of its
+  // dots (a reply with several dots of one process counts once).
+  std::unordered_map<ProcessId, uint32_t> proc_counts;
+  for (const DepSet& r : replies) {
+    std::unordered_map<ProcessId, bool> seen;
+    for (const Dot& d : r) {
+      if (!seen[d.proc]) {
+        seen[d.proc] = true;
+        proc_counts[d.proc]++;
+      }
+    }
+  }
+  std::vector<Dot> kept;
+  for (const auto& [dot, count] : CountOccurrences(replies)) {
+    if (proc_counts[dot.proc] >= threshold) {
+      kept.push_back(dot);
+    }
+  }
+  return DepSet(std::move(kept));
+}
+
+bool FastPathCondition(const std::vector<DepSet>& replies, size_t threshold) {
+  if (threshold <= 1) {
+    // Every id trivially appears at least once; the condition always holds (Atlas f=1).
+    return true;
+  }
+  for (const auto& [dot, count] : CountOccurrences(replies)) {
+    if (count < threshold) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace common

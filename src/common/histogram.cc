@@ -1,0 +1,125 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace common {
+
+Histogram::Histogram() : buckets_(kBucketGroups * kSubBuckets, 0) {}
+
+int Histogram::BucketIndex(int64_t v) {
+  if (v < 0) {
+    v = 0;
+  }
+  uint64_t u = static_cast<uint64_t>(v);
+  if (u < kSubBuckets) {
+    return static_cast<int>(u);
+  }
+  // Group g >= 1 covers [kSubBuckets * 2^(g-1), kSubBuckets * 2^g) with kSubBuckets
+  // linear sub-buckets of width 2^(g-1) each; groups tile contiguously from index
+  // kSubBuckets.
+  int msb = 63 - std::countl_zero(u);
+  int group = msb - kSubBucketBits + 1;
+  int sub = static_cast<int>(u >> (group - 1)) - kSubBuckets;
+  int index = group * kSubBuckets + sub;
+  CHECK_LT(index, static_cast<int>(kBucketGroups) * kSubBuckets);
+  return index;
+}
+
+int64_t Histogram::BucketMidpoint(int index) {
+  if (index < kSubBuckets) {
+    return index;
+  }
+  int group = index / kSubBuckets;
+  int sub = index % kSubBuckets;
+  int shift = group - 1;
+  int64_t lo = (static_cast<int64_t>(kSubBuckets + sub)) << shift;
+  int64_t width = static_cast<int64_t>(1) << shift;
+  return lo + width / 2;
+}
+
+void Histogram::Record(int64_t value_us) {
+  if (count_ == 0) {
+    min_ = value_us;
+    max_ = value_us;
+  } else {
+    min_ = std::min(min_, value_us);
+    max_ = std::max(max_, value_us);
+  }
+  count_++;
+  sum_ += static_cast<double>(value_us);
+  buckets_[static_cast<size_t>(BucketIndex(value_us))]++;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) {
+    return 0;
+  }
+  return sum_ / static_cast<double>(count_);
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (p <= 0) {
+    return min_;
+  }
+  if (p >= 100) {
+    return max_;
+  }
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_));
+  if (rank >= count_) {
+    rank = count_ - 1;
+  }
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    seen += buckets_[i];
+    if (seen > rank) {
+      int64_t mid = BucketMidpoint(static_cast<int>(i));
+      return std::clamp(mid, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "mean=%.1fms p50=%.1fms p95=%.1fms p99=%.1fms n=%llu",
+                Mean() / 1000.0, static_cast<double>(Percentile(50)) / 1000.0,
+                static_cast<double>(Percentile(95)) / 1000.0,
+                static_cast<double>(Percentile(99)) / 1000.0,
+                static_cast<unsigned long long>(count_));
+  return buf;
+}
+
+}  // namespace common

@@ -1,0 +1,49 @@
+// Latency histogram with log-linear buckets (HDR-histogram style).
+//
+// Values are recorded in microseconds. The bucket layout gives a relative error bound of
+// ~1/32 across the full range, which is ample for latency percentiles.
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace common {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t value_us);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const;
+  // p in [0, 100].
+  int64_t Percentile(double p) const;
+
+  // "mean=172.3ms p50=160.1ms p99=301.2ms n=12345"
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 linear sub-buckets per power of two.
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kBucketGroups = 64 - kSubBucketBits + 1;
+
+  static int BucketIndex(int64_t v);
+  static int64_t BucketMidpoint(int index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace common
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

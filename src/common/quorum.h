@@ -1,0 +1,71 @@
+// Quorum: a set of processes represented as a bitmask (n <= 32 everywhere in the
+// paper's deployments; we support up to 32 sites).
+#ifndef SRC_COMMON_QUORUM_H_
+#define SRC_COMMON_QUORUM_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace common {
+
+class Quorum {
+ public:
+  constexpr Quorum() = default;
+  constexpr explicit Quorum(uint32_t mask) : mask_(mask) {}
+
+  static Quorum Of(std::initializer_list<ProcessId> procs) {
+    Quorum q;
+    for (ProcessId p : procs) {
+      q.Add(p);
+    }
+    return q;
+  }
+
+  void Add(ProcessId p) {
+    DCHECK(p < 32);
+    mask_ |= (1u << p);
+  }
+  void Remove(ProcessId p) { mask_ &= ~(1u << p); }
+  bool Contains(ProcessId p) const { return (mask_ >> p) & 1u; }
+  size_t size() const { return static_cast<size_t>(std::popcount(mask_)); }
+  bool empty() const { return mask_ == 0; }
+  uint32_t mask() const { return mask_; }
+
+  Quorum Intersect(const Quorum& other) const { return Quorum(mask_ & other.mask_); }
+
+  std::vector<ProcessId> Members() const {
+    std::vector<ProcessId> out;
+    for (uint32_t m = mask_; m != 0; m &= m - 1) {
+      out.push_back(static_cast<ProcessId>(std::countr_zero(m)));
+    }
+    return out;
+  }
+
+  friend bool operator==(const Quorum& a, const Quorum& b) { return a.mask_ == b.mask_; }
+  friend bool operator!=(const Quorum& a, const Quorum& b) { return !(a == b); }
+
+  std::string ToString() const {
+    std::string s = "{";
+    bool first = true;
+    for (ProcessId p : Members()) {
+      if (!first) {
+        s += ",";
+      }
+      first = false;
+      s += std::to_string(p);
+    }
+    return s + "}";
+  }
+
+ private:
+  uint32_t mask_ = 0;
+};
+
+}  // namespace common
+
+#endif  // SRC_COMMON_QUORUM_H_

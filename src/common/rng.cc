@@ -1,0 +1,58 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace common {
+
+double Rng::Exponential(double mean) {
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) {
+    u = 1e-18;
+  }
+  return -mean * std::log(u);
+}
+
+double Rng::Pareto(double xm, double alpha) {
+  double u = NextDouble();
+  if (u <= 0.0) {
+    u = 1e-18;
+  }
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+double Zipf::ZetaStatic(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+Zipf::Zipf(uint64_t n, double theta) : n_(n), theta_(theta) {
+  CHECK_GT(n, 0u);
+  zetan_ = ZetaStatic(n, theta);
+  zeta2theta_ = ZetaStatic(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+uint64_t Zipf::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  uint64_t v = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (v >= n_) {
+    v = n_ - 1;
+  }
+  return v;
+}
+
+}  // namespace common

@@ -1,0 +1,54 @@
+// Fixed-width time-bucketed counter, used for throughput timelines (Figure 8).
+#ifndef SRC_COMMON_TIMESERIES_H_
+#define SRC_COMMON_TIMESERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace common {
+
+class TimeSeries {
+ public:
+  // Buckets of `bucket_width` starting at time 0.
+  explicit TimeSeries(Duration bucket_width) : width_(bucket_width) {}
+
+  void Record(Time t, uint64_t count = 1) {
+    if (t < 0) {
+      return;
+    }
+    size_t idx = static_cast<size_t>(t / width_);
+    if (idx >= buckets_.size()) {
+      buckets_.resize(idx + 1, 0);
+    }
+    buckets_[idx] += count;
+  }
+
+  // Count in the bucket containing time t (0 if out of range).
+  uint64_t At(Time t) const {
+    if (t < 0) {
+      return 0;
+    }
+    size_t idx = static_cast<size_t>(t / width_);
+    return idx < buckets_.size() ? buckets_[idx] : 0;
+  }
+
+  size_t num_buckets() const { return buckets_.size(); }
+  Duration bucket_width() const { return width_; }
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+  // Ops/second in the bucket containing t.
+  double RatePerSecond(Time t) const {
+    return static_cast<double>(At(t)) * static_cast<double>(kSecond) /
+           static_cast<double>(width_);
+  }
+
+ private:
+  Duration width_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace common
+
+#endif  // SRC_COMMON_TIMESERIES_H_

@@ -1,0 +1,88 @@
+// Fundamental identifiers and time types shared across the library.
+#ifndef SRC_COMMON_TYPES_H_
+#define SRC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace common {
+
+// A process (site / data center) identifier. Processes are numbered 0..n-1.
+using ProcessId = uint32_t;
+
+constexpr ProcessId kInvalidProcess = 0xffffffffu;
+
+// Simulated / wall-clock time in microseconds.
+using Time = int64_t;
+using Duration = int64_t;
+
+constexpr Duration kMicrosecond = 1;
+constexpr Duration kMillisecond = 1000;
+constexpr Duration kSecond = 1000 * 1000;
+
+// Command identifier <i, l> from the paper: the l-th command submitted by process i.
+// The paper calls this an "identifier"; following the EPaxos/fantoch lineage we call it
+// a Dot. Dots are totally ordered (the fixed order "<" used inside execution batches).
+struct Dot {
+  ProcessId proc = kInvalidProcess;
+  uint64_t seq = 0;
+
+  constexpr bool valid() const { return proc != kInvalidProcess; }
+
+  friend constexpr bool operator==(const Dot& a, const Dot& b) {
+    return a.proc == b.proc && a.seq == b.seq;
+  }
+  friend constexpr bool operator!=(const Dot& a, const Dot& b) { return !(a == b); }
+  friend constexpr bool operator<(const Dot& a, const Dot& b) {
+    if (a.seq != b.seq) {
+      return a.seq < b.seq;
+    }
+    return a.proc < b.proc;
+  }
+  friend constexpr bool operator<=(const Dot& a, const Dot& b) { return a < b || a == b; }
+  friend constexpr bool operator>(const Dot& a, const Dot& b) { return b < a; }
+};
+
+inline std::string ToString(const Dot& d) {
+  return "<" + std::to_string(d.proc) + "," + std::to_string(d.seq) + ">";
+}
+
+struct DotHash {
+  size_t operator()(const Dot& d) const {
+    // splitmix-style combine; Dots are dense so this distributes well.
+    uint64_t x = (static_cast<uint64_t>(d.proc) << 48) ^ d.seq;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
+// Ballot numbers for the per-identifier consensus. Ballot 0 means "nothing accepted".
+// Ballot i+1 (<= n) is reserved for the initial coordinator i; recovery ballots are > n
+// and allocated round-robin per process, the 0-based analog of Algorithm 2, line 32
+// (b = i + n * (floor(bal / n) + 1)).
+using Ballot = uint64_t;
+
+inline Ballot InitialBallot(ProcessId coordinator) {
+  return static_cast<Ballot>(coordinator) + 1;
+}
+
+inline Ballot NextRecoveryBallot(ProcessId self, Ballot current, uint32_t n) {
+  Ballot b = static_cast<Ballot>(self) + 1 + static_cast<Ballot>(n) * (current / n + 1);
+  while (b <= current) {
+    b += n;
+  }
+  return b;
+}
+
+inline ProcessId BallotOwner(Ballot b, uint32_t n) {
+  return static_cast<ProcessId>((b - 1) % n);
+}
+
+}  // namespace common
+
+#endif  // SRC_COMMON_TYPES_H_

@@ -1,0 +1,568 @@
+#include "src/core/atlas.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace atlas {
+
+using common::Ballot;
+using common::DepSet;
+using common::Dot;
+using common::ProcessId;
+using common::Quorum;
+
+AtlasEngine::AtlasEngine(Config config)
+    : config_(config),
+      index_(smr::MakeKeyIndex(config.index_mode)),
+      executor_(exec::BatchOrder::kDot,
+                [this](const Dot& dot, const smr::Command& cmd) {
+                  OnExecuteFromGraph(dot, cmd);
+                }) {
+  config_.Validate();
+}
+
+void AtlasEngine::OnStart() {
+  if (config_.by_proximity.empty()) {
+    for (ProcessId p = 0; p < n_; p++) {
+      if (p != self_) {
+        config_.by_proximity.push_back(p);
+      }
+    }
+  }
+  CHECK_EQ(config_.by_proximity.size(), static_cast<size_t>(n_) - 1);
+  CHECK_EQ(config_.n, n_);
+}
+
+Quorum AtlasEngine::PickFastQuorum(bool nfr_read) const {
+  // Fast quorum: self plus the closest responsive peers, size floor(n/2)+f (line 4),
+  // or a plain majority for NFR reads (§4).
+  size_t size = nfr_read ? config_.MajoritySize() : config_.FastQuorumSize();
+  return PickQuorum(size);
+}
+
+Quorum AtlasEngine::PickSlowQuorum() const { return PickQuorum(config_.SlowQuorumSize()); }
+
+Quorum AtlasEngine::PickQuorum(size_t size) const {
+  Quorum q;
+  q.Add(self_);
+  // Prefer the closest non-suspected peers; fall back to suspected ones if fewer than
+  // `size` responsive processes remain (the protocol then blocks, which is the
+  // documented behaviour when more than f sites are unreachable).
+  for (ProcessId p : config_.by_proximity) {
+    if (q.size() >= size) {
+      return q;
+    }
+    if (suspected_.count(p) == 0) {
+      q.Add(p);
+    }
+  }
+  for (ProcessId p : config_.by_proximity) {
+    if (q.size() >= size) {
+      break;
+    }
+    q.Add(p);
+  }
+  return q;
+}
+
+bool AtlasEngine::CommittedOrExecuted(const Dot& dot) const {
+  return executor_.IsCommitted(dot);
+}
+
+AtlasEngine::Phase AtlasEngine::PhaseOf(const Dot& dot) const {
+  if (executor_.IsExecuted(dot)) {
+    return Phase::kExecute;
+  }
+  if (executor_.IsCommitted(dot)) {
+    return Phase::kCommit;
+  }
+  auto it = infos_.find(dot);
+  return it == infos_.end() ? Phase::kStart : it->second.phase;
+}
+
+DepSet AtlasEngine::CommittedDeps(const Dot& dot) const {
+  auto it = decided_.find(dot);
+  return it == decided_.end() ? DepSet{} : it->second.deps;
+}
+
+// ---------------------------------------------------------------------------
+// Start + collect phases (lines 1-19)
+// ---------------------------------------------------------------------------
+
+void AtlasEngine::Submit(smr::Command cmd) {
+  stats_.submitted++;
+  Dot dot{self_, next_seq_++};  // line 2
+  bool nfr = NfrRead(cmd);
+
+  Info& info = GetInfo(dot);
+  info.locally_submitted = true;
+  info.submitted_cmd = cmd;
+
+  DepSet past = index_->Conflicts(cmd, dot);  // line 3
+  Quorum q = PickFastQuorum(nfr);             // line 4
+
+  msg::MCollect collect;
+  collect.dot = dot;
+  collect.cmd = std::move(cmd);
+  collect.past = std::move(past);
+  collect.quorum = q;
+  collect.nfr = nfr;
+  // Line 5: send MCollect to the fast quorum (self-delivery is inline and runs the
+  // MCollect handler below, which stores the command and acks).
+  for (ProcessId p : q.Members()) {
+    if (p != self_) {
+      SendTo(p, collect);
+    }
+  }
+  SendTo(self_, collect);
+  if (config_.commit_timeout > 0) {
+    ctx_->SetTimer(config_.commit_timeout, (dot.seq << 2) | kCommitTimeoutToken);
+  }
+}
+
+void AtlasEngine::HandleMCollect(ProcessId from, const msg::MCollect& m) {
+  Info& info = GetInfo(m.dot);
+  if (info.phase != Phase::kStart) {  // precondition, line 7
+    return;
+  }
+  // Line 8: dep[id] <- conflicts(c) ∪ past.
+  DepSet deps = index_->Conflicts(m.cmd, m.dot);
+  deps.UnionWith(m.past);
+  // NFR reads are excluded from dependency tracking (they can never block a later
+  // command), so they are not recorded in the conflict index (§4).
+  if (!m.nfr) {
+    index_->Record(m.dot, m.cmd);
+  }
+  info.deps = std::move(deps);
+  info.cmd = m.cmd;          // line 9
+  info.quorum = m.quorum;
+  info.nfr = m.nfr;
+  info.phase = Phase::kCollect;  // line 10
+  msg::MCollectAck ack;
+  ack.dot = m.dot;
+  ack.deps = info.deps;
+  SendTo(from, ack);  // line 11
+}
+
+void AtlasEngine::HandleMCollectAck(ProcessId from, const msg::MCollectAck& m) {
+  auto it = infos_.find(m.dot);
+  if (it == infos_.end()) {
+    return;
+  }
+  Info& info = it->second;
+  // Preconditions (line 13): still in collect phase at the coordinator, ack from a fast
+  // quorum member, not a duplicate.
+  if (info.phase != Phase::kCollect || m.dot.proc != self_ ||
+      !info.quorum.Contains(from) || info.collect_acked.Contains(from)) {
+    return;
+  }
+  info.collect_acked.Add(from);
+  info.collect_deps.push_back(m.deps);
+  if (info.collect_acked == info.quorum) {  // "from all j in Q"
+    FinishCollect(m.dot, info);
+  }
+}
+
+void AtlasEngine::FinishCollect(const Dot& dot, Info& info) {
+  if (info.nfr) {
+    // NFR (§4): commit immediately after one round trip to a majority, taking the plain
+    // union of the reported dependencies.
+    DepSet deps = common::Union(info.collect_deps);
+    stats_.fast_paths++;
+    CommitAndBroadcast(dot, info, info.cmd, deps, /*fast_path=*/true);
+    return;
+  }
+  // Line 15: fast path iff every reported dependency was reported by >= f quorum
+  // members (∪Q dep == ∪fQ dep).
+  if (common::FastPathCondition(info.collect_deps, config_.f)) {
+    DepSet deps = common::Union(info.collect_deps);  // line 14
+    stats_.fast_paths++;
+    CommitAndBroadcast(dot, info, info.cmd, deps, /*fast_path=*/true);  // line 16
+    return;
+  }
+  // Slow path (lines 17-19). With the §4 pruning optimization the coordinator proposes
+  // ∪fQ dep, dropping dependencies reported by fewer than f quorum members. The
+  // paper's per-identifier counting is only sound when conflicts() reports every
+  // conflicting identifier (full index); under dependency compression quorum members
+  // may report different aliases of one conflict chain, so the counting must be
+  // per originating process instead (see ThresholdUnionByProc and DESIGN.md §7).
+  stats_.slow_paths++;
+  DepSet deps;
+  if (!config_.prune_slow_path) {
+    deps = common::Union(info.collect_deps);
+  } else if (config_.index_mode == smr::IndexMode::kFull) {
+    deps = common::ThresholdUnion(info.collect_deps, config_.f);
+  } else {
+    deps = common::ThresholdUnionByProc(info.collect_deps, config_.f);
+  }
+  ProposeConsensus(dot, info, info.cmd, std::move(deps),
+                   common::InitialBallot(self_));
+}
+
+// ---------------------------------------------------------------------------
+// Consensus (slow path + recovery proposals, lines 20-27)
+// ---------------------------------------------------------------------------
+
+void AtlasEngine::ProposeConsensus(const Dot& dot, Info& info, const smr::Command& cmd,
+                                   DepSet deps, Ballot ballot) {
+  info.proposal_ballot = ballot;
+  info.consensus_acked = Quorum();
+  msg::MConsensus prop;
+  prop.dot = dot;
+  prop.cmd = cmd;
+  prop.deps = std::move(deps);
+  prop.ballot = ballot;
+  if (ballot == common::InitialBallot(self_)) {
+    // Initial coordinator: Paxos phase 2 to a slow quorum of f+1 (line 18-19).
+    for (ProcessId p : PickSlowQuorum().Members()) {
+      if (p != self_) {
+        SendTo(p, prop);
+      }
+    }
+    SendTo(self_, prop);
+  } else {
+    // Recovery proposals go to all (lines 48-53): any f+1 acceptors suffice and the
+    // recoverer does not know which processes are reachable.
+    SendAll(prop);
+  }
+}
+
+void AtlasEngine::HandleMConsensus(ProcessId from, const msg::MConsensus& m) {
+  if (CommittedOrExecuted(m.dot)) {
+    // The value is already decided; tell the proposer directly (mirrors lines 34-36).
+    auto it = decided_.find(m.dot);
+    if (it != decided_.end()) {
+      msg::MCommit commit;
+      commit.dot = m.dot;
+      commit.cmd = it->second.cmd;
+      commit.deps = it->second.deps;
+      SendTo(from, commit);
+    }
+    return;
+  }
+  Info& info = GetInfo(m.dot);
+  if (info.bal > m.ballot) {  // precondition, line 21
+    return;
+  }
+  info.cmd = m.cmd;  // line 22
+  info.deps = m.deps;
+  info.bal = m.ballot;  // line 23
+  info.abal = m.ballot;
+  msg::MConsensusAck ack;
+  ack.dot = m.dot;
+  ack.ballot = m.ballot;
+  SendTo(from, ack);  // line 24
+}
+
+void AtlasEngine::HandleMConsensusAck(ProcessId from, const msg::MConsensusAck& m) {
+  auto it = infos_.find(m.dot);
+  if (it == infos_.end()) {
+    return;
+  }
+  Info& info = it->second;
+  // Precondition (line 26): the ack matches my outstanding proposal and nothing with a
+  // higher ballot has preempted me.
+  if (info.proposal_ballot != m.ballot || info.bal != m.ballot ||
+      info.consensus_acked.Contains(from)) {
+    return;
+  }
+  info.consensus_acked.Add(from);
+  if (info.consensus_acked.size() == config_.SlowQuorumSize()) {  // |Q| = f+1
+    CommitAndBroadcast(m.dot, info, info.cmd, info.deps, /*fast_path=*/false);  // line 27
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Commit (lines 28-30)
+// ---------------------------------------------------------------------------
+
+void AtlasEngine::CommitAndBroadcast(const Dot& dot, Info& info, const smr::Command& cmd,
+                                     const DepSet& deps, bool fast_path) {
+  msg::MCommit commit;
+  commit.dot = dot;
+  commit.cmd = cmd;
+  commit.deps = deps;
+  for (ProcessId p = 0; p < n_; p++) {
+    if (p != self_) {
+      SendTo(p, commit);
+    }
+  }
+  // `info` may be invalidated by self-commit (execution erases entries); apply last.
+  ApplyCommit(dot, cmd, deps, fast_path);
+}
+
+void AtlasEngine::HandleMCommit(ProcessId from, const msg::MCommit& m) {
+  ApplyCommit(m.dot, m.cmd, m.deps, /*fast_path=*/false);
+}
+
+void AtlasEngine::ApplyCommit(const Dot& dot, const smr::Command& cmd, const DepSet& deps,
+                              bool fast_path) {
+  if (CommittedOrExecuted(dot)) {  // precondition, line 29
+    return;
+  }
+  Info& info = GetInfo(dot);
+  info.cmd = cmd;
+  info.deps = deps;
+  info.phase = Phase::kCommit;  // line 30
+  decided_[dot] = Decided{cmd, deps};
+  decided_order_.push_back(dot);
+  while (decided_order_.size() > decided_cache_limit_) {
+    decided_.erase(decided_order_.front());
+    decided_order_.pop_front();
+  }
+  // Commands learned only at commit time still enter the conflict index: they are
+  // non-start identifiers, so later conflicts() calls must report them. NFR reads are
+  // never tracked.
+  if (!NfrRead(cmd)) {
+    index_->Record(dot, cmd);
+  }
+  stats_.committed++;
+  if (cmd.is_noop()) {
+    stats_.noops_committed++;
+  }
+  ctx_->Committed(dot, cmd, fast_path);
+  if (info.locally_submitted && cmd.is_noop() && !info.submitted_cmd.is_noop()) {
+    // Recovery replaced our submitted command with noOp before any process saw its
+    // payload: it will never execute under this dot. The driver may resubmit.
+    ctx_->Dropped(dot, info.submitted_cmd);
+  }
+  // Every dependency must eventually commit for `dot` to execute; make sure we track
+  // unknown dependencies so the recovery scan can find them if their coordinator fails.
+  for (const Dot& dep : deps) {
+    if (!CommittedOrExecuted(dep)) {
+      GetInfo(dep);
+      if (suspected_.count(dep.proc) > 0) {
+        ArmScanTimer();
+      }
+    }
+  }
+  // This call may execute `dot` (and others), erasing their infos_ entries.
+  executor_.Commit(dot, cmd, deps);
+}
+
+void AtlasEngine::OnExecuteFromGraph(const Dot& dot, const smr::Command& cmd) {
+  stats_.executed++;
+  infos_.erase(dot);  // phase tracked by the executor from here on
+  ctx_->Executed(dot, cmd);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery (Algorithm 2, lines 31-53)
+// ---------------------------------------------------------------------------
+
+void AtlasEngine::Recover(const Dot& dot) {
+  if (CommittedOrExecuted(dot)) {
+    return;
+  }
+  Info& info = GetInfo(dot);
+  stats_.recoveries_started++;
+  Ballot b = common::NextRecoveryBallot(self_, info.bal, n_);  // line 32
+  info.rec_ballot = b;
+  info.rec_acked = Quorum();
+  info.rec_acks.clear();
+  info.next_recovery_at = ctx_->Now() + config_.recovery_retry_interval;
+  msg::MRec rec;
+  rec.dot = dot;
+  rec.cmd = info.cmd;  // noOp unless this process saw the payload
+  rec.ballot = b;
+  SendAll(rec);  // line 33
+}
+
+void AtlasEngine::HandleMRec(ProcessId from, const msg::MRec& m) {
+  // Lines 34-36: already decided, short-circuit with MCommit.
+  if (CommittedOrExecuted(m.dot)) {
+    auto it = decided_.find(m.dot);
+    if (it != decided_.end()) {
+      msg::MCommit commit;
+      commit.dot = m.dot;
+      commit.cmd = it->second.cmd;
+      commit.deps = it->second.deps;
+      SendTo(from, commit);
+    }
+    // Beyond the decided cache horizon: stay silent; the recoverer learns the value
+    // from a replica that still caches it (recovering ancient commands is rare).
+    return;
+  }
+  Info& info = GetInfo(m.dot);
+  if (info.bal >= m.ballot) {  // precondition, line 38
+    return;
+  }
+  if (info.bal == 0 && info.phase == Phase::kStart) {  // line 39
+    info.deps = index_->Conflicts(m.cmd, m.dot);  // line 40
+    info.cmd = m.cmd;                             // line 41
+    if (!NfrRead(m.cmd)) {
+      index_->Record(m.dot, m.cmd);
+    }
+  }
+  info.bal = m.ballot;           // line 42
+  info.phase = Phase::kRecover;  // line 43
+  msg::MRecAck ack;              // line 44
+  ack.dot = m.dot;
+  ack.cmd = info.cmd;
+  ack.deps = info.deps;
+  ack.quorum = info.quorum;
+  ack.accepted_ballot = info.abal;
+  ack.ballot = m.ballot;
+  SendTo(from, ack);
+}
+
+void AtlasEngine::HandleMRecAck(ProcessId from, const msg::MRecAck& m) {
+  auto it = infos_.find(m.dot);
+  if (it == infos_.end()) {
+    return;
+  }
+  Info& info = it->second;
+  // Precondition (line 46): acks for my outstanding recovery ballot, not preempted.
+  if (info.rec_ballot != m.ballot || info.bal != m.ballot ||
+      info.rec_acked.Contains(from)) {
+    return;
+  }
+  info.rec_acked.Add(from);
+  info.rec_acks.emplace_back(from, m);
+  if (info.rec_acked.size() < config_.RecoveryQuorumSize()) {  // |Q| = n - f
+    return;
+  }
+
+  const Ballot b = m.ballot;
+  // Case 1 (lines 47-49): some process accepted a consensus proposal; by Paxos rules
+  // adopt the one accepted at the highest ballot.
+  const msg::MRecAck* best = nullptr;
+  for (const auto& [sender, ack] : info.rec_acks) {
+    if (ack.accepted_ballot != 0 &&
+        (best == nullptr || ack.accepted_ballot > best->accepted_ballot)) {
+      best = &ack;
+    }
+  }
+  if (best != nullptr) {
+    ProposeConsensus(m.dot, info, best->cmd, best->deps, b);
+    return;
+  }
+  // Case 2 (lines 50-52): nobody accepted a proposal, but some process saw the fast
+  // quorum (and hence the payload).
+  const msg::MRecAck* with_quorum = nullptr;
+  for (const auto& [sender, ack] : info.rec_acks) {
+    if (!ack.quorum.empty()) {
+      with_quorum = &ack;
+      break;
+    }
+  }
+  if (with_quorum != nullptr) {
+    const ProcessId initial = m.dot.proc;
+    Quorum selected;
+    if (info.rec_acked.Contains(initial)) {
+      // Line 51, first case: the initial coordinator replied, so it never took (and
+      // will never take) the fast path; the union over all n-f >= floor(n/2)+1 ackers
+      // is a valid choice by Property 1.
+      selected = info.rec_acked;
+    } else {
+      // Line 51, second case: the initial coordinator may have taken the fast path.
+      // Q' = Q ∩ Q0 contains at least floor(n/2) fast-quorum members; by Property 2
+      // the union of their reported dependencies reconstructs any fast-path proposal.
+      selected = info.rec_acked.Intersect(with_quorum->quorum);
+    }
+    DepSet deps;
+    for (const auto& [sender, ack] : info.rec_acks) {
+      if (selected.Contains(sender)) {
+        deps.UnionWith(ack.deps);
+      }
+    }
+    ProposeConsensus(m.dot, info, with_quorum->cmd, std::move(deps), b);  // line 52
+    return;
+  }
+  // Case 3 (line 53): nobody saw the payload; replace the command with noOp.
+  ProposeConsensus(m.dot, info, smr::MakeNoOp(), DepSet(), b);
+}
+
+void AtlasEngine::OnSuspect(ProcessId p) {
+  if (p == self_ || !suspected_.insert(p).second) {
+    return;
+  }
+  if (RecoveryScan()) {
+    ArmScanTimer();
+  }
+}
+
+void AtlasEngine::ArmScanTimer() {
+  if (!scan_timer_armed_) {
+    scan_timer_armed_ = true;
+    ctx_->SetTimer(config_.recovery_scan_interval, kRecoveryScanToken);
+  }
+}
+
+void AtlasEngine::OnTimer(uint64_t token) {
+  if (token == kRecoveryScanToken) {
+    scan_timer_armed_ = false;
+    if (RecoveryScan()) {
+      ArmScanTimer();
+    }
+    return;
+  }
+  if ((token & 3) == kCommitTimeoutToken) {
+    Dot dot{self_, token >> 2};
+    if (!CommittedOrExecuted(dot)) {
+      Recover(dot);
+      ctx_->SetTimer(config_.commit_timeout, token);
+    }
+  }
+}
+
+bool AtlasEngine::RecoveryScan() {
+  if (suspected_.empty()) {
+    return false;
+  }
+  // Recover every known uncommitted command coordinated by a suspected process. New
+  // ballots are only started if the previous attempt has had time to finish.
+  std::vector<Dot> to_recover;
+  bool any_pending = false;
+  common::Time now = ctx_->Now();
+  for (const auto& [dot, info] : infos_) {
+    if (info.phase == Phase::kCommit || info.phase == Phase::kExecute) {
+      continue;
+    }
+    if (suspected_.count(dot.proc) == 0) {
+      continue;
+    }
+    any_pending = true;
+    if (info.next_recovery_at > now) {
+      continue;
+    }
+    to_recover.push_back(dot);
+  }
+  for (const Dot& dot : to_recover) {
+    Recover(dot);
+  }
+  return any_pending;
+}
+
+// ---------------------------------------------------------------------------
+
+void AtlasEngine::OnMessage(ProcessId from, const msg::Message& m) {
+  switch (m.index()) {
+    case 0:
+      HandleMCollect(from, std::get<msg::MCollect>(m));
+      break;
+    case 1:
+      HandleMCollectAck(from, std::get<msg::MCollectAck>(m));
+      break;
+    case 2:
+      HandleMConsensus(from, std::get<msg::MConsensus>(m));
+      break;
+    case 3:
+      HandleMConsensusAck(from, std::get<msg::MConsensusAck>(m));
+      break;
+    case 4:
+      HandleMCommit(from, std::get<msg::MCommit>(m));
+      break;
+    case 5:
+      HandleMRec(from, std::get<msg::MRec>(m));
+      break;
+    case 6:
+      HandleMRecAck(from, std::get<msg::MRecAck>(m));
+      break;
+    default:
+      break;  // not an Atlas message
+  }
+}
+
+}  // namespace atlas

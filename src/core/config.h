@@ -1,0 +1,54 @@
+// Atlas protocol configuration.
+#ifndef SRC_CORE_CONFIG_H_
+#define SRC_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+#include "src/smr/conflict_index.h"
+
+namespace atlas {
+
+struct Config {
+  uint32_t n = 3;
+  // Maximum number of concurrent site failures tolerated; 1 <= f <= floor((n-1)/2).
+  uint32_t f = 1;
+
+  // §4 optimizations.
+  bool nfr = false;              // non-fault-tolerant reads
+  bool prune_slow_path = true;   // propose the f-threshold union on the slow path
+
+  // Dependency tracking mode (see src/smr/conflict_index.h).
+  smr::IndexMode index_mode = smr::IndexMode::kCompressed;
+
+  // Peers of this process ordered by increasing network distance (self excluded).
+  // Quorums are chosen greedily from this list; when empty, id order is used.
+  std::vector<common::ProcessId> by_proximity;
+
+  // Recovery pacing: how often a replica re-scans for uncommitted commands owned by
+  // suspected processes, and the per-command gap between recovery attempts.
+  common::Duration recovery_scan_interval = 500 * common::kMillisecond;
+  common::Duration recovery_retry_interval = 1 * common::kSecond;
+
+  // When > 0, a coordinator that cannot commit its own command within this delay
+  // re-runs the recovery protocol for it (covers lost messages / transient partitions
+  // of the coordinator itself). 0 disables the timer.
+  common::Duration commit_timeout = 0;
+
+  void Validate() const {
+    CHECK_GE(n, 3u);
+    CHECK_GE(f, 1u);
+    CHECK_LE(f, (n - 1) / 2);
+  }
+
+  size_t FastQuorumSize() const { return n / 2 + f; }
+  size_t SlowQuorumSize() const { return f + 1; }
+  size_t MajoritySize() const { return n / 2 + 1; }
+  size_t RecoveryQuorumSize() const { return n - f; }
+};
+
+}  // namespace atlas
+
+#endif  // SRC_CORE_CONFIG_H_

@@ -1,0 +1,406 @@
+#include "src/epaxos/epaxos.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace epaxos {
+
+using common::Ballot;
+using common::DepSet;
+using common::Dot;
+using common::ProcessId;
+using common::Quorum;
+
+EPaxosEngine::EPaxosEngine(Config config)
+    : config_(config),
+      index_(smr::MakeKeyIndex(config.index_mode)),
+      executor_(exec::BatchOrder::kSeqDot,
+                [this](const Dot& dot, const smr::Command& cmd) {
+                  stats_.executed++;
+                  infos_.erase(dot);
+                  ctx_->Executed(dot, cmd);
+                }) {
+  CHECK_GE(config_.n, 3u);
+}
+
+void EPaxosEngine::OnStart() {
+  if (config_.by_proximity.empty()) {
+    for (ProcessId p = 0; p < n_; p++) {
+      if (p != self_) {
+        config_.by_proximity.push_back(p);
+      }
+    }
+  }
+  CHECK_EQ(config_.by_proximity.size(), static_cast<size_t>(n_) - 1);
+  CHECK_EQ(config_.n, n_);
+}
+
+uint64_t EPaxosEngine::MaxConflictSeq(const DepSet& deps) const {
+  uint64_t max_seq = 0;
+  for (const Dot& d : deps) {
+    auto it = seqnos_.find(d);
+    if (it != seqnos_.end()) {
+      max_seq = std::max(max_seq, it->second);
+    }
+  }
+  return max_seq;
+}
+
+Quorum EPaxosEngine::PickQuorum(size_t size) const {
+  Quorum q;
+  q.Add(self_);
+  // Closest responsive peers first; fall back to suspected ones when short.
+  for (ProcessId p : config_.by_proximity) {
+    if (q.size() >= size) {
+      return q;
+    }
+    if (suspected_.count(p) == 0) {
+      q.Add(p);
+    }
+  }
+  for (ProcessId p : config_.by_proximity) {
+    if (q.size() >= size) {
+      break;
+    }
+    q.Add(p);
+  }
+  return q;
+}
+
+void EPaxosEngine::Submit(smr::Command cmd) {
+  stats_.submitted++;
+  Dot dot{self_, next_seq_++};
+  bool nfr = NfrRead(cmd);
+  size_t fq_size = nfr ? config_.MajoritySize() : config_.FastQuorumSize();
+  Quorum q = PickQuorum(fq_size);
+
+  msg::EpPreAccept pre;
+  pre.dot = dot;
+  pre.cmd = std::move(cmd);
+  pre.deps = index_->Conflicts(pre.cmd, dot);
+  pre.seqno = MaxConflictSeq(pre.deps) + 1;
+  pre.quorum = q;
+  pre.nfr = nfr;
+  for (ProcessId p : q.Members()) {
+    if (p != self_) {
+      SendTo(p, pre);
+    }
+  }
+  SendTo(self_, pre);
+}
+
+void EPaxosEngine::HandlePreAccept(ProcessId from, const msg::EpPreAccept& m) {
+  Info& info = GetInfo(m.dot);
+  if (info.phase != Phase::kNone || info.bal != 0) {
+    return;  // already moved past pre-accept (e.g. recovery touched this id)
+  }
+  // Merge the leader's deps/seq with the local view.
+  DepSet deps = index_->Conflicts(m.cmd, m.dot);
+  deps.UnionWith(m.deps);
+  uint64_t seqno = std::max(m.seqno, MaxConflictSeq(deps) + 1);
+  if (!m.nfr) {
+    index_->Record(m.dot, m.cmd);
+    seqnos_[m.dot] = seqno;
+  }
+  info.phase = Phase::kPreAccepted;
+  info.cmd = m.cmd;
+  info.deps = deps;
+  info.seqno = seqno;
+  info.quorum = m.quorum;
+  info.nfr = m.nfr;
+  msg::EpPreAcceptAck ack;
+  ack.dot = m.dot;
+  ack.deps = std::move(deps);
+  ack.seqno = seqno;
+  SendTo(from, ack);
+}
+
+void EPaxosEngine::HandlePreAcceptAck(ProcessId from, const msg::EpPreAcceptAck& m) {
+  auto it = infos_.find(m.dot);
+  if (it == infos_.end()) {
+    return;
+  }
+  Info& info = it->second;
+  if (m.dot.proc != self_ || info.phase != Phase::kPreAccepted ||
+      !info.quorum.Contains(from) || info.preaccept_acked.Contains(from)) {
+    return;
+  }
+  info.preaccept_acked.Add(from);
+  info.preaccept_acks.push_back(m);
+  if (info.preaccept_acked != info.quorum) {
+    return;
+  }
+
+  if (info.nfr) {
+    // NFR read: commit after one round trip to a majority with the union of deps.
+    DepSet deps;
+    uint64_t seqno = 0;
+    for (const auto& ack : info.preaccept_acks) {
+      deps.UnionWith(ack.deps);
+      seqno = std::max(seqno, ack.seqno);
+    }
+    info.deps = std::move(deps);
+    info.seqno = seqno;
+    stats_.fast_paths++;
+    CommitAndBroadcast(m.dot, info, /*fast_path=*/true);
+    return;
+  }
+
+  // EPaxos fast-path condition: every reply matches the leader's own (deps, seq)
+  // exactly. The leader processed its own EpPreAccept inline first, so its stored
+  // (deps, seqno) are its own contribution; all replies must equal it.
+  bool matching = true;
+  for (const auto& ack : info.preaccept_acks) {
+    if (ack.deps != info.deps || ack.seqno != info.seqno) {
+      matching = false;
+      break;
+    }
+  }
+  if (matching) {
+    stats_.fast_paths++;
+    CommitAndBroadcast(m.dot, info, /*fast_path=*/true);
+    return;
+  }
+  // Slow path: union deps, max seq, then Paxos-Accept with a majority.
+  stats_.slow_paths++;
+  DepSet deps;
+  uint64_t seqno = 0;
+  for (const auto& ack : info.preaccept_acks) {
+    deps.UnionWith(ack.deps);
+    seqno = std::max(seqno, ack.seqno);
+  }
+  RunAcceptPhase(m.dot, info, info.cmd, std::move(deps), seqno,
+                 common::InitialBallot(self_));
+}
+
+void EPaxosEngine::RunAcceptPhase(const Dot& dot, Info& info, const smr::Command& cmd,
+                                  DepSet deps, uint64_t seqno, Ballot ballot) {
+  info.proposal_ballot = ballot;
+  info.accept_acked = Quorum();
+  msg::EpAccept acc;
+  acc.dot = dot;
+  acc.cmd = cmd;
+  acc.deps = std::move(deps);
+  acc.seqno = seqno;
+  acc.ballot = ballot;
+  // A majority acknowledgement suffices; send to the closest responsive majority.
+  Quorum q = PickQuorum(config_.MajoritySize());
+  for (ProcessId p : q.Members()) {
+    if (p != self_) {
+      SendTo(p, acc);
+    }
+  }
+  SendTo(self_, acc);
+}
+
+void EPaxosEngine::HandleAccept(ProcessId from, const msg::EpAccept& m) {
+  Info& info = GetInfo(m.dot);
+  if (info.phase == Phase::kCommitted || info.bal > m.ballot) {
+    return;
+  }
+  info.phase = Phase::kAccepted;
+  info.cmd = m.cmd;
+  info.deps = m.deps;
+  info.seqno = m.seqno;
+  info.bal = m.ballot;
+  info.abal = m.ballot;
+  if (!NfrRead(m.cmd)) {
+    index_->Record(m.dot, m.cmd);
+    seqnos_[m.dot] = m.seqno;
+  }
+  msg::EpAcceptAck ack;
+  ack.dot = m.dot;
+  ack.ballot = m.ballot;
+  SendTo(from, ack);
+}
+
+void EPaxosEngine::HandleAcceptAck(ProcessId from, const msg::EpAcceptAck& m) {
+  auto it = infos_.find(m.dot);
+  if (it == infos_.end()) {
+    return;
+  }
+  Info& info = it->second;
+  if (info.proposal_ballot != m.ballot || info.bal != m.ballot ||
+      info.accept_acked.Contains(from)) {
+    return;
+  }
+  info.accept_acked.Add(from);
+  if (info.accept_acked.size() == config_.MajoritySize()) {
+    CommitAndBroadcast(m.dot, info, /*fast_path=*/false);
+  }
+}
+
+void EPaxosEngine::CommitAndBroadcast(const Dot& dot, Info& info, bool fast_path) {
+  msg::EpCommit commit;
+  commit.dot = dot;
+  commit.cmd = info.cmd;
+  commit.deps = info.deps;
+  commit.seqno = info.seqno;
+  for (ProcessId p = 0; p < n_; p++) {
+    if (p != self_) {
+      SendTo(p, commit);
+    }
+  }
+  ApplyCommit(dot, commit.cmd, commit.deps, commit.seqno, fast_path);
+}
+
+void EPaxosEngine::HandleCommit(ProcessId from, const msg::EpCommit& m) {
+  ApplyCommit(m.dot, m.cmd, m.deps, m.seqno, /*fast_path=*/false);
+}
+
+void EPaxosEngine::ApplyCommit(const Dot& dot, const smr::Command& cmd,
+                               const DepSet& deps, uint64_t seqno, bool fast_path) {
+  if (executor_.IsCommitted(dot)) {
+    return;
+  }
+  Info& info = GetInfo(dot);
+  info.phase = Phase::kCommitted;
+  info.cmd = cmd;
+  info.deps = deps;
+  info.seqno = seqno;
+  if (!NfrRead(cmd)) {
+    index_->Record(dot, cmd);
+    seqnos_[dot] = seqno;
+  }
+  stats_.committed++;
+  ctx_->Committed(dot, cmd, fast_path);
+  executor_.Commit(dot, cmd, deps, seqno);
+}
+
+// ---------------------------------------------------------------------------
+// Conservative recovery (see header).
+// ---------------------------------------------------------------------------
+
+void EPaxosEngine::OnSuspect(ProcessId p) {
+  if (p == self_) {
+    return;
+  }
+  suspected_.insert(p);
+  std::vector<Dot> to_recover;
+  for (const auto& [dot, info] : infos_) {
+    if (dot.proc == p && info.phase != Phase::kCommitted) {
+      to_recover.push_back(dot);
+    }
+  }
+  for (const Dot& dot : to_recover) {
+    Info& info = GetInfo(dot);
+    Ballot b = common::NextRecoveryBallot(self_, info.bal, n_);
+    info.rec_ballot = b;
+    info.rec_acked = Quorum();
+    info.rec_acks.clear();
+    msg::EpPrepare prep;
+    prep.dot = dot;
+    prep.ballot = b;
+    SendAll(prep);
+  }
+}
+
+void EPaxosEngine::HandlePrepare(ProcessId from, const msg::EpPrepare& m) {
+  Info& info = GetInfo(m.dot);
+  if (info.phase != Phase::kCommitted && info.bal >= m.ballot) {
+    return;
+  }
+  if (info.phase != Phase::kCommitted) {
+    info.bal = m.ballot;
+  }
+  msg::EpPrepareAck ack;
+  ack.dot = m.dot;
+  ack.cmd = info.cmd;
+  ack.deps = info.deps;
+  ack.seqno = info.seqno;
+  ack.phase = static_cast<uint8_t>(info.phase);
+  ack.accepted_ballot = info.abal;
+  ack.ballot = m.ballot;
+  ack.was_initial_coordinator_reply = (m.dot.proc == self_);
+  SendTo(from, ack);
+}
+
+void EPaxosEngine::HandlePrepareAck(ProcessId from, const msg::EpPrepareAck& m) {
+  auto it = infos_.find(m.dot);
+  if (it == infos_.end()) {
+    return;
+  }
+  Info& info = it->second;
+  if (info.rec_ballot != m.ballot || info.rec_acked.Contains(from)) {
+    return;
+  }
+  info.rec_acked.Add(from);
+  info.rec_acks.push_back(m);
+  if (info.rec_acked.size() < config_.MajoritySize()) {
+    return;
+  }
+  // Committed anywhere -> adopt. Accepted -> re-run Accept with the highest-ballot
+  // value. Pre-accepted only -> conservative: union deps / max seq, Accept phase.
+  const msg::EpPrepareAck* committed = nullptr;
+  const msg::EpPrepareAck* accepted = nullptr;
+  bool any_preaccepted = false;
+  for (const auto& ack : info.rec_acks) {
+    auto phase = static_cast<Phase>(ack.phase);
+    if (phase == Phase::kCommitted) {
+      committed = &ack;
+    } else if (phase == Phase::kAccepted &&
+               (accepted == nullptr || ack.accepted_ballot > accepted->accepted_ballot)) {
+      accepted = &ack;
+    } else if (phase == Phase::kPreAccepted) {
+      any_preaccepted = true;
+    }
+  }
+  if (committed != nullptr) {
+    ApplyCommit(m.dot, committed->cmd, committed->deps, committed->seqno,
+                /*fast_path=*/false);
+    // Let others know too.
+    msg::EpCommit commit;
+    commit.dot = m.dot;
+    commit.cmd = committed->cmd;
+    commit.deps = committed->deps;
+    commit.seqno = committed->seqno;
+    for (ProcessId p = 0; p < n_; p++) {
+      if (p != self_) {
+        SendTo(p, commit);
+      }
+    }
+    return;
+  }
+  if (accepted != nullptr) {
+    RunAcceptPhase(m.dot, info, accepted->cmd, accepted->deps, accepted->seqno,
+                   m.ballot);
+    return;
+  }
+  if (any_preaccepted) {
+    DepSet deps;
+    uint64_t seqno = 0;
+    smr::Command cmd;
+    for (const auto& ack : info.rec_acks) {
+      if (static_cast<Phase>(ack.phase) == Phase::kPreAccepted) {
+        deps.UnionWith(ack.deps);
+        seqno = std::max(seqno, ack.seqno);
+        cmd = ack.cmd;
+      }
+    }
+    RunAcceptPhase(m.dot, info, cmd, std::move(deps), seqno, m.ballot);
+    return;
+  }
+  // Nobody saw the command: commit a noOp in its place.
+  RunAcceptPhase(m.dot, info, smr::MakeNoOp(), DepSet(), 0, m.ballot);
+}
+
+void EPaxosEngine::OnMessage(ProcessId from, const msg::Message& m) {
+  if (auto* v = std::get_if<msg::EpPreAccept>(&m)) {
+    HandlePreAccept(from, *v);
+  } else if (auto* v = std::get_if<msg::EpPreAcceptAck>(&m)) {
+    HandlePreAcceptAck(from, *v);
+  } else if (auto* v = std::get_if<msg::EpAccept>(&m)) {
+    HandleAccept(from, *v);
+  } else if (auto* v = std::get_if<msg::EpAcceptAck>(&m)) {
+    HandleAcceptAck(from, *v);
+  } else if (auto* v = std::get_if<msg::EpCommit>(&m)) {
+    HandleCommit(from, *v);
+  } else if (auto* v = std::get_if<msg::EpPrepare>(&m)) {
+    HandlePrepare(from, *v);
+  } else if (auto* v = std::get_if<msg::EpPrepareAck>(&m)) {
+    HandlePrepareAck(from, *v);
+  }
+}
+
+}  // namespace epaxos

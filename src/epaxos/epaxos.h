@@ -1,0 +1,126 @@
+// Egalitarian Paxos (EPaxos) baseline [Moraru et al., SOSP'13].
+//
+// EPaxos shares the leaderless message flow of Atlas (§3.3 of the paper) but differs
+// in the two dimensions Atlas innovates on:
+//   - the fast quorum is sized for f = floor((n-1)/2) failures:
+//     |FQ| = F + floor((F+1)/2) (command leader included), the ~3n/4-class quorum the
+//     paper attributes to EPaxos;
+//   - the fast path is taken only when all non-leader fast-quorum replies match exactly
+//     (same dependencies and sequence number).
+// Commands additionally carry sequence numbers; execution orders strongly connected
+// components by (seq, id) via the shared graph executor.
+//
+// Recovery: this baseline implements a conservative explicit-prepare fail-over that is
+// correct for slow-path-committed and committed commands and re-runs the Accept phase
+// with the union of surviving dependencies otherwise. Full EPaxos fast-path recovery is
+// intentionally out of scope: the paper (§3.3) cites it as "very complex" and recently
+// shown to contain a bug [Sutra, IPL 2020]; none of the reproduced experiments exercise
+// EPaxos under failures.
+//
+// The NFR read optimization (§4) applies to EPaxos too (the paper's "*EPaxos"): enabled
+// via Config::nfr.
+#ifndef SRC_EPAXOS_EPAXOS_H_
+#define SRC_EPAXOS_EPAXOS_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/dep_set.h"
+#include "src/common/quorum.h"
+#include "src/common/types.h"
+#include "src/exec/graph_executor.h"
+#include "src/msg/message.h"
+#include "src/smr/conflict_index.h"
+#include "src/smr/engine.h"
+
+namespace epaxos {
+
+struct Config {
+  uint32_t n = 3;
+  bool nfr = false;
+  smr::IndexMode index_mode = smr::IndexMode::kCompressed;
+  std::vector<common::ProcessId> by_proximity;
+
+  uint32_t F() const { return (n - 1) / 2; }
+  // Fast quorum including the command leader: F + floor((F+1)/2), the optimized EPaxos
+  // quorum (= ceil(3n/4) - 1 for odd n).
+  size_t FastQuorumSize() const {
+    size_t fq = F() + (F() + 1) / 2;
+    return std::max(fq, static_cast<size_t>(n / 2 + 1));
+  }
+  size_t MajoritySize() const { return n / 2 + 1; }
+};
+
+class EPaxosEngine final : public smr::Engine {
+ public:
+  explicit EPaxosEngine(Config config);
+
+  void OnStart() override;
+  void Submit(smr::Command cmd) override;
+  void OnMessage(common::ProcessId from, const msg::Message& m) override;
+  void OnSuspect(common::ProcessId p) override;
+
+  size_t PendingExecution() const { return executor_.PendingCount(); }
+
+ private:
+  enum class Phase : uint8_t { kNone, kPreAccepted, kAccepted, kCommitted };
+
+  struct Info {
+    Phase phase = Phase::kNone;
+    smr::Command cmd;
+    common::DepSet deps;
+    uint64_t seqno = 0;
+    common::Ballot bal = 0;
+    common::Ballot abal = 0;
+    bool nfr = false;
+
+    // Command-leader state.
+    common::Quorum quorum;
+    common::Quorum preaccept_acked;
+    std::vector<msg::EpPreAcceptAck> preaccept_acks;
+    common::Ballot proposal_ballot = 0;
+    common::Quorum accept_acked;
+
+    // Recovery state.
+    common::Ballot rec_ballot = 0;
+    common::Quorum rec_acked;
+    std::vector<msg::EpPrepareAck> rec_acks;
+  };
+
+  void HandlePreAccept(common::ProcessId from, const msg::EpPreAccept& m);
+  void HandlePreAcceptAck(common::ProcessId from, const msg::EpPreAcceptAck& m);
+  void HandleAccept(common::ProcessId from, const msg::EpAccept& m);
+  void HandleAcceptAck(common::ProcessId from, const msg::EpAcceptAck& m);
+  void HandleCommit(common::ProcessId from, const msg::EpCommit& m);
+  void HandlePrepare(common::ProcessId from, const msg::EpPrepare& m);
+  void HandlePrepareAck(common::ProcessId from, const msg::EpPrepareAck& m);
+
+  void RunAcceptPhase(const common::Dot& dot, Info& info, const smr::Command& cmd,
+                      common::DepSet deps, uint64_t seqno, common::Ballot ballot);
+  void CommitAndBroadcast(const common::Dot& dot, Info& info, bool fast_path);
+  void ApplyCommit(const common::Dot& dot, const smr::Command& cmd,
+                   const common::DepSet& deps, uint64_t seqno, bool fast_path);
+
+  // Highest sequence number among recorded commands conflicting with cmd.
+  uint64_t MaxConflictSeq(const common::DepSet& deps) const;
+
+  Info& GetInfo(const common::Dot& dot) { return infos_[dot]; }
+  bool NfrRead(const smr::Command& cmd) const { return config_.nfr && cmd.is_read(); }
+  common::Quorum PickQuorum(size_t size) const;
+
+  Config config_;
+  std::unique_ptr<smr::ConflictIndex> index_;
+  exec::GraphExecutor executor_;
+
+  uint64_t next_seq_ = 1;
+  std::unordered_map<common::Dot, Info, common::DotHash> infos_;
+  // seq numbers of every known command, for the max-conflict-seq computation.
+  std::unordered_map<common::Dot, uint64_t, common::DotHash> seqnos_;
+  std::unordered_set<common::ProcessId> suspected_;
+};
+
+}  // namespace epaxos
+
+#endif  // SRC_EPAXOS_EPAXOS_H_

@@ -1,0 +1,188 @@
+#include "src/exec/graph_executor.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace exec {
+
+GraphExecutor::GraphExecutor(BatchOrder order, ExecuteFn execute)
+    : order_(order), execute_(std::move(execute)) {
+  CHECK(execute_ != nullptr);
+}
+
+bool GraphExecutor::IsCommitted(const common::Dot& dot) const {
+  return executed_.count(dot) > 0 || nodes_.count(dot) > 0;
+}
+
+void GraphExecutor::Commit(const common::Dot& dot, smr::Command cmd, common::DepSet deps,
+                           uint64_t seqno) {
+  if (IsCommitted(dot)) {
+    return;
+  }
+  Node node;
+  node.cmd = std::move(cmd);
+  node.deps = std::move(deps);
+  node.seqno = seqno;
+  nodes_.emplace(dot, std::move(node));
+  pending_count_++;
+
+  std::optional<common::Dot> missing = TryExecute(dot);
+  if (missing.has_value()) {
+    // `dot` is committed but transitively blocked on `missing` (TryExecute parked it
+    // there). Anything parked on `dot` is blocked on `missing` too: transfer the
+    // waiter list wholesale instead of re-walking each waiter — this keeps adversarial
+    // commit orders (e.g. a long chain committed in reverse) linear instead of cubic.
+    auto it = waiters_.find(dot);
+    if (it != waiters_.end()) {
+      std::vector<common::Dot> moved = std::move(it->second);
+      waiters_.erase(it);
+      std::vector<common::Dot>& dst = waiters_[*missing];
+      if (dst.empty()) {
+        dst = std::move(moved);
+      } else {
+        dst.insert(dst.end(), moved.begin(), moved.end());
+      }
+    }
+    return;
+  }
+  // Execution happened. Worklist of dots whose state advanced: waiters parked on them
+  // must retry. RunBatch appends executed dots via progressed_, so unblocking cascades
+  // through long chains without recursion.
+  progressed_.push_back(dot);
+  while (!progressed_.empty()) {
+    common::Dot d = progressed_.back();
+    progressed_.pop_back();
+    auto it = waiters_.find(d);
+    if (it == waiters_.end()) {
+      continue;
+    }
+    std::vector<common::Dot> retry = std::move(it->second);
+    waiters_.erase(it);
+    for (const common::Dot& w : retry) {
+      if (nodes_.count(w) > 0) {
+        TryExecute(w);
+      }
+    }
+  }
+}
+
+std::optional<common::Dot> GraphExecutor::TryExecute(const common::Dot& root) {
+  if (nodes_.count(root) == 0) {
+    return std::nullopt;
+  }
+  epoch_++;
+
+  // Iterative Tarjan over committed nodes. If any reachable dependency is uncommitted,
+  // park the root on it and abort; otherwise every reachable SCC is executable and SCCs
+  // complete (pop) in reverse topological order — exactly batch order.
+  struct Frame {
+    common::Dot dot;
+    size_t dep_index = 0;
+  };
+  std::vector<Frame> stack;
+  std::vector<common::Dot> tarjan_stack;
+  std::vector<std::vector<common::Dot>> batches;
+  uint32_t next_index = 0;
+
+  auto push_node = [&](const common::Dot& d, Node& node) {
+    node.visit_epoch = epoch_;
+    node.index = next_index;
+    node.lowlink = next_index;
+    node.on_stack = true;
+    next_index++;
+    tarjan_stack.push_back(d);
+    stack.push_back(Frame{d, 0});
+  };
+
+  push_node(root, nodes_.at(root));
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    Node& node = nodes_.at(frame.dot);
+    if (frame.dep_index < node.deps.size()) {
+      const common::Dot& dep = node.deps.dots()[frame.dep_index++];
+      if (executed_.count(dep) > 0) {
+        continue;
+      }
+      auto dep_it = nodes_.find(dep);
+      if (dep_it == nodes_.end()) {
+        // Uncommitted dependency: the batch containing root cannot form yet.
+        waiters_[dep].push_back(root);
+        // Clear on_stack flags for a clean next epoch (epoch check handles the rest).
+        for (const common::Dot& d : tarjan_stack) {
+          nodes_.at(d).on_stack = false;
+        }
+        return dep;
+      }
+      Node& dep_node = dep_it->second;
+      if (dep_node.visit_epoch != epoch_) {
+        push_node(dep, dep_node);
+      } else if (dep_node.on_stack) {
+        node.lowlink = std::min(node.lowlink, dep_node.index);
+      }
+      continue;
+    }
+    // Node finished: propagate lowlink to parent, pop SCC if root of one.
+    uint32_t lowlink = node.lowlink;
+    uint32_t index = node.index;
+    common::Dot done = frame.dot;
+    stack.pop_back();
+    if (!stack.empty()) {
+      Node& parent = nodes_.at(stack.back().dot);
+      parent.lowlink = std::min(parent.lowlink, lowlink);
+    }
+    if (lowlink == index) {
+      std::vector<common::Dot> scc;
+      while (true) {
+        common::Dot d = tarjan_stack.back();
+        tarjan_stack.pop_back();
+        nodes_.at(d).on_stack = false;
+        scc.push_back(d);
+        if (d == done) {
+          break;
+        }
+      }
+      batches.push_back(std::move(scc));
+    }
+  }
+
+  // SCCs completed in reverse topological order (dependencies first): execute in that
+  // order.
+  for (auto& batch : batches) {
+    RunBatch(batch);
+  }
+  return std::nullopt;
+}
+
+void GraphExecutor::RunBatch(std::vector<common::Dot>& batch) {
+  if (order_ == BatchOrder::kDot) {
+    std::sort(batch.begin(), batch.end());
+  } else {
+    std::sort(batch.begin(), batch.end(), [this](const common::Dot& a,
+                                                 const common::Dot& b) {
+      const Node& na = nodes_.at(a);
+      const Node& nb = nodes_.at(b);
+      if (na.seqno != nb.seqno) {
+        return na.seqno < nb.seqno;
+      }
+      return a < b;
+    });
+  }
+  max_batch_ = std::max(max_batch_, batch.size());
+  for (const common::Dot& d : batch) {
+    auto it = nodes_.find(d);
+    CHECK(it != nodes_.end());
+    execute_(d, it->second.cmd);
+    executed_.insert(d);
+    executed_count_++;
+    nodes_.erase(it);
+    CHECK_GT(pending_count_, 0u);
+    pending_count_--;
+    if (waiters_.count(d) > 0) {
+      progressed_.push_back(d);
+    }
+  }
+}
+
+}  // namespace exec

@@ -1,0 +1,428 @@
+#include "src/harness/cluster.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/core/atlas.h"
+#include "src/epaxos/epaxos.h"
+#include "src/harness/topology.h"
+#include "src/mencius/mencius.h"
+#include "src/paxos/multipaxos.h"
+#include "src/sim/regions.h"
+
+namespace harness {
+
+const char* ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kAtlas:
+      return "Atlas";
+    case Protocol::kEPaxos:
+      return "EPaxos";
+    case Protocol::kFPaxos:
+      return "FPaxos";
+    case Protocol::kPaxos:
+      return "Paxos";
+    case Protocol::kMencius:
+      return "Mencius";
+  }
+  return "?";
+}
+
+Cluster::Cluster(ClusterOptions opts) : opts_(std::move(opts)) {
+  CHECK_GE(opts_.site_regions.size(), 3u);
+  sim::Simulator::Options sim_opts;
+  sim_opts.seed = opts_.seed;
+  sim_opts.fifo_links = opts_.fifo_links;
+  sim_opts.egress_bytes_per_sec = opts_.egress_bytes_per_sec;
+  sim_opts.per_message_cost = opts_.per_message_cost;
+  sim_ = std::make_unique<sim::Simulator>(
+      BuildLatency(opts_.site_regions, opts_.jitter_frac), sim_opts);
+
+  uint32_t n = this->n();
+  for (uint32_t i = 0; i < n; i++) {
+    stores_.push_back(std::make_unique<kvs::KvStore>());
+    site_throughput_.emplace_back(common::kSecond);
+  }
+  site_alive_.assign(n, true);
+  if (opts_.enable_checker) {
+    checker_ = std::make_unique<chk::HistoryChecker>(n);
+    checker_->SetNfrMode(opts_.nfr);
+  }
+  BuildEngines();
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::BuildEngines() {
+  uint32_t n = this->n();
+  const sim::LatencyModel& lat = sim_->latency();
+
+  std::vector<size_t> client_regions = sim::ClientSites();
+  switch (opts_.protocol) {
+    case Protocol::kAtlas: {
+      for (uint32_t i = 0; i < n; i++) {
+        atlas::Config cfg;
+        cfg.n = n;
+        cfg.f = opts_.f;
+        cfg.nfr = opts_.nfr;
+        cfg.prune_slow_path = opts_.prune_slow_path;
+        cfg.index_mode = opts_.index_mode;
+        cfg.by_proximity = ByProximity(lat, n, i);
+        engines_.push_back(std::make_unique<atlas::AtlasEngine>(cfg));
+      }
+      break;
+    }
+    case Protocol::kEPaxos: {
+      for (uint32_t i = 0; i < n; i++) {
+        epaxos::Config cfg;
+        cfg.n = n;
+        cfg.nfr = opts_.nfr;
+        cfg.index_mode = opts_.index_mode;
+        cfg.by_proximity = ByProximity(lat, n, i);
+        engines_.push_back(std::make_unique<epaxos::EPaxosEngine>(cfg));
+      }
+      break;
+    }
+    case Protocol::kFPaxos:
+    case Protocol::kPaxos: {
+      paxos::Config base;
+      base.n = n;
+      base.f = opts_.f;
+      base.mode = opts_.protocol == Protocol::kFPaxos ? paxos::QuorumMode::kFlexible
+                                                      : paxos::QuorumMode::kClassic;
+      leader_ = opts_.leader != common::kInvalidProcess
+                    ? opts_.leader
+                    : FairestLeader(opts_.site_regions, client_regions,
+                                    base.Phase2Size());
+      for (uint32_t i = 0; i < n; i++) {
+        paxos::Config cfg = base;
+        cfg.initial_leader = leader_;
+        cfg.by_proximity = ByProximity(lat, n, i);
+        engines_.push_back(std::make_unique<paxos::PaxosEngine>(cfg));
+      }
+      break;
+    }
+    case Protocol::kMencius: {
+      for (uint32_t i = 0; i < n; i++) {
+        mencius::Config cfg;
+        cfg.n = n;
+        engines_.push_back(std::make_unique<mencius::MenciusEngine>(cfg));
+      }
+      break;
+    }
+  }
+
+  for (auto& e : engines_) {
+    sim_->AddEngine(e.get());
+  }
+  sim_->SetExecutedHandler([this](common::ProcessId p, const common::Dot& d,
+                                  const smr::Command& c) { OnExecuted(p, d, c); });
+  sim_->SetCommittedHandler([this](common::ProcessId p, const common::Dot& d,
+                                   const smr::Command& c,
+                                   bool fast) { OnCommitted(p, d, c, fast); });
+  sim_->SetDroppedHandler([this](common::ProcessId p, const common::Dot& d,
+                                 const smr::Command& c) { OnDropped(p, d, c); });
+}
+
+void Cluster::AddClients(const ClientSpec& spec, size_t count) {
+  CHECK(!started_);
+  CHECK(spec.workload != nullptr);
+  for (size_t i = 0; i < count; i++) {
+    Client c;
+    c.id = clients_.size() + 1;
+    c.region = spec.region;
+    c.site = ClosestSite(spec.region, opts_.site_regions);
+    c.workload = spec.workload;
+    c.max_ops = spec.max_ops;
+    c.think_time = spec.think_time;
+    c.retry_timeout = spec.retry_timeout;
+    clients_.push_back(std::move(c));
+  }
+}
+
+void Cluster::Start() {
+  CHECK(!started_);
+  started_ = true;
+  sim_->Start();
+  for (uint64_t i = 0; i < clients_.size(); i++) {
+    IssueNext(i);
+  }
+}
+
+void Cluster::IssueNext(uint64_t client_index) {
+  Client& c = clients_[client_index];
+  if (c.stopped || c.issued >= c.max_ops || c.in_flight) {
+    return;
+  }
+  c.in_flight = true;
+  c.issued++;
+  c.current = c.workload->Next(c.id, c.next_seq++, sim_->rng());
+  c.submit_time = sim_->Now();
+  pending_[chk::CmdKey{c.current.client, c.current.seq}] = client_index;
+  if (checker_ != nullptr) {
+    checker_->OnSubmit(c.current, c.submit_time,
+                       static_cast<common::ProcessId>(c.site));
+  }
+  common::Duration oneway =
+      ClientOneWay(c.region, opts_.site_regions[c.site]);
+  common::ProcessId site = static_cast<common::ProcessId>(c.site);
+  smr::Command cmd = c.current;
+  sim_->PostIn(oneway, [this, site, cmd = std::move(cmd)]() mutable {
+    if (!sim_->IsCrashed(site)) {
+      sim_->Submit(site, std::move(cmd));
+    }
+    // If the site crashed while the request was in flight, the client's migration
+    // logic resubmits it elsewhere.
+  });
+  if (c.retry_timeout > 0) {
+    uint64_t seq = c.current.seq;
+    sim_->PostIn(c.retry_timeout, [this, client_index, seq]() {
+      Client& cl = clients_[client_index];
+      if (!cl.in_flight || cl.current.seq != seq) {
+        return;  // already completed or superseded
+      }
+      // Abandon the stuck operation (its command may have died with a crashed
+      // leader/coordinator) and resubmit under a fresh sequence number.
+      pending_.erase(chk::CmdKey{cl.current.client, cl.current.seq});
+      cl.in_flight = false;
+      cl.issued--;
+      IssueNext(client_index);
+    });
+  }
+}
+
+void Cluster::OnCommitted(common::ProcessId p, const common::Dot& dot,
+                          const smr::Command& cmd, bool fast) {
+  auto it = pending_.find(chk::CmdKey{cmd.client, cmd.seq});
+  if (it == pending_.end()) {
+    return;
+  }
+  Client& c = clients_[it->second];
+  if (static_cast<common::ProcessId>(c.site) != p || !c.in_flight) {
+    return;
+  }
+  common::Time now = sim_->Now();
+  if (now >= measure_start_ && (measure_end_ == 0 || now < measure_end_)) {
+    metrics_.commit_latency.Record(now - c.submit_time);
+  }
+}
+
+void Cluster::OnExecuted(common::ProcessId p, const common::Dot& dot,
+                         const smr::Command& cmd) {
+  stores_[p]->Apply(cmd);
+  if (checker_ != nullptr) {
+    checker_->OnExecute(p, cmd, sim_->Now());
+    exec_trace_.push_back(ExecRecord{p, dot, cmd});
+  }
+  if (cmd.is_noop()) {
+    return;
+  }
+  auto it = pending_.find(chk::CmdKey{cmd.client, cmd.seq});
+  if (it == pending_.end()) {
+    return;
+  }
+  uint64_t client_index = it->second;
+  Client& c = clients_[client_index];
+  if (static_cast<common::ProcessId>(c.site) != p || !c.in_flight) {
+    return;
+  }
+  pending_.erase(it);
+  common::Duration oneway = ClientOneWay(c.region, opts_.site_regions[c.site]);
+  common::Time completion = sim_->Now() + oneway;
+  sim_->PostIn(oneway, [this, client_index, completion]() {
+    CompleteClient(client_index, completion);
+  });
+}
+
+void Cluster::CompleteClient(uint64_t client_index, common::Time completion_time) {
+  Client& c = clients_[client_index];
+  if (!c.in_flight) {
+    return;
+  }
+  c.in_flight = false;
+  total_completed_++;
+  site_throughput_[c.site].Record(completion_time);
+  common::Time now = completion_time;
+  if (now >= measure_start_ && (measure_end_ == 0 || now < measure_end_)) {
+    metrics_.latency.Record(now - c.submit_time);
+    metrics_.completed_in_window++;
+    c.window_latency_sum += static_cast<double>(now - c.submit_time);
+    c.window_latency_count++;
+  }
+  if (c.think_time > 0) {
+    sim_->PostIn(c.think_time, [this, client_index]() { IssueNext(client_index); });
+  } else {
+    IssueNext(client_index);
+  }
+}
+
+void Cluster::OnDropped(common::ProcessId p, const common::Dot& dot,
+                        const smr::Command& orig) {
+  // The command was replaced by noOp during recovery and will never execute; resubmit
+  // it under a fresh sequence number if its client is still waiting.
+  auto it = pending_.find(chk::CmdKey{orig.client, orig.seq});
+  if (it == pending_.end()) {
+    return;
+  }
+  uint64_t client_index = it->second;
+  pending_.erase(it);
+  Client& c = clients_[client_index];
+  if (!c.in_flight) {
+    return;
+  }
+  c.in_flight = false;
+  c.issued--;  // retry does not count as a new op
+  IssueNext(client_index);
+}
+
+void Cluster::SetMeasureWindow(common::Time start, common::Time end) {
+  measure_start_ = start;
+  measure_end_ = end;
+  metrics_.window_seconds =
+      static_cast<double>(end - start) / static_cast<double>(common::kSecond);
+}
+
+void Cluster::ScheduleCrash(common::ProcessId site, common::Time at,
+                            common::Duration detection_timeout) {
+  CHECK_LT(site, n());
+  sim_->Post(at, [this, site]() {
+    sim_->Crash(site);
+    site_alive_[site] = false;
+  });
+  sim_->Post(at + detection_timeout, [this, site]() {
+    for (uint32_t p = 0; p < n(); p++) {
+      if (p != site && !sim_->IsCrashed(p)) {
+        engines_[p]->OnSuspect(site);
+      }
+    }
+    MigrateClients(site);
+  });
+}
+
+void Cluster::MigrateClients(common::ProcessId dead_site) {
+  for (uint64_t i = 0; i < clients_.size(); i++) {
+    Client& c = clients_[i];
+    if (static_cast<common::ProcessId>(c.site) != dead_site) {
+      continue;
+    }
+    // Reconnect to the closest alive site.
+    size_t best = c.site;
+    common::Duration best_d = 0;
+    bool found = false;
+    for (size_t s = 0; s < opts_.site_regions.size(); s++) {
+      if (!site_alive_[s]) {
+        continue;
+      }
+      common::Duration d = ClientOneWay(c.region, opts_.site_regions[s]);
+      if (!found || d < best_d) {
+        best = s;
+        best_d = d;
+        found = true;
+      }
+    }
+    CHECK(found);
+    c.site = best;
+    if (c.in_flight) {
+      // Retry the in-flight command at the new site under a fresh sequence number
+      // (at-least-once on fail-over; client sessions would dedup in a production stack).
+      pending_.erase(chk::CmdKey{c.current.client, c.current.seq});
+      c.in_flight = false;
+      c.issued--;
+      IssueNext(i);
+    }
+  }
+}
+
+void Cluster::StopClients() {
+  for (auto& c : clients_) {
+    c.stopped = true;
+  }
+}
+
+void Cluster::RunFor(common::Duration d) { sim_->RunFor(d); }
+
+Metrics Cluster::Snapshot() const {
+  Metrics m = metrics_;
+  uint64_t fast = 0;
+  uint64_t slow = 0;
+  uint64_t executed = 0;
+  size_t max_batch = 0;
+  for (uint32_t p = 0; p < n(); p++) {
+    const smr::EngineStats& s = engines_[p]->stats();
+    fast += s.fast_paths;
+    slow += s.slow_paths;
+    executed += s.executed;
+    if (opts_.protocol == Protocol::kAtlas) {
+      max_batch = std::max(
+          max_batch, static_cast<const atlas::AtlasEngine&>(*engines_[p]).MaxBatch());
+    }
+  }
+  m.fast_paths = fast;
+  m.slow_paths = slow;
+  m.total_executions = executed;
+  m.max_batch = max_batch;
+  m.bytes_sent = sim_->bytes_sent();
+  m.fast_path_ratio =
+      (fast + slow) > 0 ? static_cast<double>(fast) / static_cast<double>(fast + slow)
+                        : 0;
+  double sum = 0;
+  uint64_t clients_with_data = 0;
+  for (const auto& c : clients_) {
+    if (c.window_latency_count > 0) {
+      sum += c.window_latency_sum / static_cast<double>(c.window_latency_count);
+      clients_with_data++;
+    }
+  }
+  m.per_client_mean_us = clients_with_data > 0
+                             ? sum / static_cast<double>(clients_with_data)
+                             : 0;
+  return m;
+}
+
+const common::TimeSeries& Cluster::SiteThroughput(common::ProcessId site) const {
+  CHECK_LT(site, site_throughput_.size());
+  return site_throughput_[site];
+}
+
+common::TimeSeries Cluster::AggregateThroughput() const {
+  common::TimeSeries agg(common::kSecond);
+  for (const auto& ts : site_throughput_) {
+    for (size_t b = 0; b < ts.num_buckets(); b++) {
+      agg.Record(static_cast<common::Time>(b) * common::kSecond, ts.buckets()[b]);
+    }
+  }
+  return agg;
+}
+
+chk::CheckResult Cluster::Finish(bool abort_on_error) {
+  // Clients with finite max_ops are allowed to run to completion; open-ended clients
+  // are stopped so the simulation can drain.
+  bool all_finite = true;
+  for (const auto& c : clients_) {
+    if (c.max_ops == ~uint64_t{0}) {
+      all_finite = false;
+      break;
+    }
+  }
+  if (!all_finite) {
+    StopClients();
+  }
+  sim_->RunUntilIdle();
+  chk::CheckResult result;
+  if (checker_ != nullptr) {
+    for (uint32_t p = 0; p < n(); p++) {
+      if (!sim_->IsCrashed(p)) {
+        checker_->OnStateDigest(p, stores_[p]->StateDigest(),
+                                engines_[p]->stats().executed);
+      }
+    }
+    result = checker_->Validate();
+    if (!result.ok && abort_on_error) {
+      std::fprintf(stderr, "%s\n", result.Describe().c_str());
+      CHECK(result.ok);
+    }
+  }
+  return result;
+}
+
+}  // namespace harness

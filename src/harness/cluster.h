@@ -1,0 +1,195 @@
+// Simulated cluster harness: builds a protocol deployment over the WAN model, attaches
+// closed-loop clients, failure injection and metrics — the machinery behind every
+// benchmark and integration test.
+#ifndef SRC_HARNESS_CLUSTER_H_
+#define SRC_HARNESS_CLUSTER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/chk/checker.h"
+#include "src/common/histogram.h"
+#include "src/common/timeseries.h"
+#include "src/common/types.h"
+#include "src/kvs/kvs.h"
+#include "src/sim/simulator.h"
+#include "src/smr/conflict_index.h"
+#include "src/smr/engine.h"
+#include "src/wl/workload.h"
+
+namespace harness {
+
+enum class Protocol {
+  kAtlas,
+  kEPaxos,
+  kFPaxos,
+  kPaxos,    // classic majority quorums
+  kMencius,
+};
+
+const char* ProtocolName(Protocol p);
+
+struct ClusterOptions {
+  Protocol protocol = Protocol::kAtlas;
+  uint32_t f = 1;
+  bool nfr = false;
+  bool prune_slow_path = true;
+  smr::IndexMode index_mode = smr::IndexMode::kCompressed;
+
+  // Site placement: indexes into sim::AllRegions().
+  std::vector<size_t> site_regions;
+
+  uint64_t seed = 1;
+  double jitter_frac = 0.02;
+  bool fifo_links = true;
+
+  // Egress model (0 = unconstrained). ~128 MB/s with a 25us per-message CPU cost
+  // approximates the paper's n1-standard-8 nodes closely enough to reproduce the
+  // saturation shapes of Figures 6 and 7.
+  double egress_bytes_per_sec = 0;
+  common::Duration per_message_cost = 0;
+
+  // FPaxos/Paxos leader; kInvalidProcess selects the fairest site automatically.
+  common::ProcessId leader = common::kInvalidProcess;
+
+  // Record histories and verify the SMR specification at Finish().
+  bool enable_checker = false;
+};
+
+struct ClientSpec {
+  size_t region = 0;  // index into sim::AllRegions()
+  std::shared_ptr<wl::Workload> workload;
+  uint64_t max_ops = ~uint64_t{0};
+  common::Duration think_time = 0;
+  // Client-side retry: if an operation does not complete within this delay, it is
+  // resubmitted under a fresh sequence number (at-least-once). 0 disables retries.
+  common::Duration retry_timeout = 0;
+};
+
+struct Metrics {
+  common::Histogram latency;         // client-perceived, within the measure window
+  common::Histogram commit_latency;  // submit -> commit at the submitting site
+  // Unweighted average of per-client mean latencies (closed-loop clients complete ops
+  // at different rates, so the per-op mean under-weights slow clients; the paper's
+  // "average latency" and optimal bars are per-client).
+  double per_client_mean_us = 0;
+  uint64_t completed_in_window = 0;
+  double window_seconds = 0;
+  uint64_t bytes_sent = 0;     // total wire bytes, whole run
+  double fast_path_ratio = 0;  // over coordinated commands, whole run
+  uint64_t fast_paths = 0;
+  uint64_t slow_paths = 0;
+  uint64_t total_executions = 0;
+  size_t max_batch = 0;
+
+  double ThroughputOpsPerSec() const {
+    return window_seconds > 0 ? static_cast<double>(completed_in_window) / window_seconds
+                              : 0;
+  }
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions opts);
+  ~Cluster();
+
+  // Adds `count` clients with the given spec. Call before Start().
+  void AddClients(const ClientSpec& spec, size_t count);
+
+  // Builds engines and starts client loops. Call once.
+  void Start();
+
+  // Advances simulated time.
+  void RunFor(common::Duration d);
+
+  // Sets the measurement window for latency/throughput metrics (absolute sim times).
+  void SetMeasureWindow(common::Time start, common::Time end);
+
+  // Crashes a site at `at`; all surviving replicas suspect it (and clients of that
+  // site reconnect to their closest alive site) after `detection_timeout`.
+  void ScheduleCrash(common::ProcessId site, common::Time at,
+                     common::Duration detection_timeout);
+
+  // Stops clients from issuing new commands (lets the system drain).
+  void StopClients();
+
+  Metrics Snapshot() const;
+  // Per-site completed ops, 1-second buckets (Figure 8).
+  const common::TimeSeries& SiteThroughput(common::ProcessId site) const;
+  common::TimeSeries AggregateThroughput() const;
+
+  // Drains in-flight work and validates the execution history (requires
+  // enable_checker); aborts the process on violation when `abort_on_error`.
+  chk::CheckResult Finish(bool abort_on_error = true);
+
+  // Execution trace (recorded when the checker is enabled), for debugging and tests.
+  struct ExecRecord {
+    common::ProcessId process;
+    common::Dot dot;
+    smr::Command cmd;
+  };
+  const std::vector<ExecRecord>& ExecTrace() const { return exec_trace_; }
+
+  sim::Simulator& simulator() { return *sim_; }
+  smr::Engine& engine(common::ProcessId p) { return *engines_[p]; }
+  const kvs::KvStore& store(common::ProcessId p) const { return *stores_[p]; }
+  uint32_t n() const { return static_cast<uint32_t>(opts_.site_regions.size()); }
+  common::ProcessId leader() const { return leader_; }
+  uint64_t total_completed() const { return total_completed_; }
+
+ private:
+  struct Client {
+    uint64_t id = 0;
+    size_t region = 0;
+    size_t site = 0;  // index into site_regions
+    std::shared_ptr<wl::Workload> workload;
+    uint64_t next_seq = 1;
+    uint64_t issued = 0;
+    uint64_t max_ops = ~uint64_t{0};
+    common::Duration think_time = 0;
+    common::Duration retry_timeout = 0;
+    bool in_flight = false;
+    bool stopped = false;
+    common::Time submit_time = 0;     // measured from client submit
+    smr::Command current;             // in-flight command
+    double window_latency_sum = 0;    // within the measure window
+    uint64_t window_latency_count = 0;
+  };
+
+  void BuildEngines();
+  void IssueNext(uint64_t client_index);
+  void OnExecuted(common::ProcessId p, const common::Dot& dot, const smr::Command& cmd);
+  void OnCommitted(common::ProcessId p, const common::Dot& dot, const smr::Command& cmd,
+                   bool fast);
+  void OnDropped(common::ProcessId p, const common::Dot& dot, const smr::Command& orig);
+  void CompleteClient(uint64_t client_index, common::Time completion_time);
+  void MigrateClients(common::ProcessId dead_site);
+
+  ClusterOptions opts_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::vector<std::unique_ptr<smr::Engine>> engines_;
+  std::vector<std::unique_ptr<kvs::KvStore>> stores_;
+  std::unique_ptr<chk::HistoryChecker> checker_;
+
+  std::vector<Client> clients_;
+  // (client, seq) -> client index, for completion routing.
+  std::unordered_map<chk::CmdKey, uint64_t, chk::CmdKeyHash> pending_;
+
+  common::ProcessId leader_ = common::kInvalidProcess;
+  common::Time measure_start_ = 0;
+  common::Time measure_end_ = 0;
+
+  Metrics metrics_;
+  std::vector<ExecRecord> exec_trace_;
+  std::vector<common::TimeSeries> site_throughput_;
+  std::vector<bool> site_alive_;
+  uint64_t total_completed_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace harness
+
+#endif  // SRC_HARNESS_CLUSTER_H_

@@ -1,0 +1,288 @@
+#include "src/harness/linkmon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/sim/regions.h"
+
+namespace harness {
+
+namespace {
+
+// Minimum number of sites covering all edges in `links` (exact for the tiny failed-link
+// graphs this study produces; greedy fallback beyond 2).
+uint32_t MinSiteCover(const std::set<std::pair<uint32_t, uint32_t>>& links) {
+  if (links.empty()) {
+    return 0;
+  }
+  // Try 1 site: some site incident to every failed link.
+  std::map<uint32_t, size_t> incidence;
+  for (const auto& [a, b] : links) {
+    incidence[a]++;
+    incidence[b]++;
+  }
+  for (const auto& [site, count] : incidence) {
+    if (count == links.size()) {
+      return 1;
+    }
+  }
+  // Try 2 sites.
+  for (const auto& [s1, c1] : incidence) {
+    for (const auto& [s2, c2] : incidence) {
+      if (s1 >= s2) {
+        continue;
+      }
+      bool covers = true;
+      for (const auto& [a, b] : links) {
+        if (a != s1 && b != s1 && a != s2 && b != s2) {
+          covers = false;
+          break;
+        }
+      }
+      if (covers) {
+        return 2;
+      }
+    }
+  }
+  // Greedy upper bound.
+  std::set<std::pair<uint32_t, uint32_t>> remaining = links;
+  uint32_t cover = 0;
+  while (!remaining.empty()) {
+    std::map<uint32_t, size_t> inc;
+    for (const auto& [a, b] : remaining) {
+      inc[a]++;
+      inc[b]++;
+    }
+    uint32_t best = inc.begin()->first;
+    for (const auto& [site, count] : inc) {
+      if (count > inc[best]) {
+        best = site;
+      }
+    }
+    for (auto it = remaining.begin(); it != remaining.end();) {
+      if (it->first == best || it->second == best) {
+        it = remaining.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    cover++;
+  }
+  return cover;
+}
+
+}  // namespace
+
+LinkMonResult RunLinkFailureStudy(const LinkMonOptions& options) {
+  common::Rng rng(options.seed);
+  LinkMonResult result;
+  const common::Time campaign = static_cast<common::Time>(options.days) * 24 * 60 * 60 *
+                                common::kSecond;
+
+  // 1. Generate site degradation episodes.
+  uint32_t episodes = 0;
+  {
+    // Poisson(mean) via sequential Bernoulli thinning over days.
+    double mean = options.episodes_mean;
+    double p_per_day = mean / static_cast<double>(options.days);
+    for (uint32_t d = 0; d < options.days; d++) {
+      if (rng.Chance(p_per_day)) {
+        episodes++;
+        EpisodeRecord e;
+        e.site = static_cast<uint32_t>(rng.Below(options.sites));
+        double log_min = std::log(static_cast<double>(options.episode_min));
+        double log_max = std::log(static_cast<double>(options.episode_max));
+        double u = rng.NextDouble();
+        e.duration = static_cast<common::Duration>(
+            std::exp(log_min + u * (log_max - log_min)));
+        e.start = static_cast<common::Time>(d) * 24 * 60 * 60 * common::kSecond +
+                  static_cast<common::Time>(rng.Below(24 * 60 * 60)) * common::kSecond;
+        result.episodes.push_back(e);
+      }
+    }
+  }
+
+  // 2. Background blips: isolated single-ping latencies above 3s on random links.
+  const uint64_t links = static_cast<uint64_t>(options.sites) *
+                         (options.sites - 1) / 2;
+  const uint64_t total_pings = links * static_cast<uint64_t>(campaign / common::kSecond);
+  // Expected blips = total_pings * p; sample the count then place uniformly.
+  double expected = static_cast<double>(total_pings) * options.background_blip_per_ping;
+  uint32_t blips = 0;
+  {
+    // Poisson sampling via Knuth for small expected counts.
+    double l = std::exp(-expected);
+    double p = 1.0;
+    while (true) {
+      p *= rng.NextDouble();
+      if (p <= l) {
+        break;
+      }
+      blips++;
+    }
+  }
+  result.background_blips = blips;
+
+  struct Failure {
+    common::Time start;
+    common::Time end;
+    uint32_t a, b;  // link endpoints
+  };
+  std::vector<std::vector<Failure>> failures(options.thresholds.size());
+
+  for (uint32_t i = 0; i < blips; i++) {
+    common::Time t = static_cast<common::Time>(rng.Below(
+                         static_cast<uint64_t>(campaign / common::kSecond))) *
+                     common::kSecond;
+    uint32_t a = static_cast<uint32_t>(rng.Below(options.sites));
+    uint32_t b = static_cast<uint32_t>(rng.Below(options.sites));
+    if (a == b) {
+      b = (b + 1) % options.sites;
+    }
+    // Blips are full timeouts: latency in the 11-30s range (crosses every threshold).
+    double latency_s = 11.0 + std::min(rng.Pareto(1.0, 1.3), 19.0);
+    for (size_t ti = 0; ti < options.thresholds.size(); ti++) {
+      double thr_s = static_cast<double>(options.thresholds[ti]) /
+                     static_cast<double>(common::kSecond);
+      if (latency_s > thr_s) {
+        failures[ti].push_back(
+            {t + options.thresholds[ti],
+             t + static_cast<common::Duration>(latency_s * common::kSecond),
+             std::min(a, b), std::max(a, b)});
+      }
+    }
+  }
+
+  // 3. Episode sampling: during an episode every link incident to the site draws a
+  // latency per ping; consecutive over-threshold pings merge into failure intervals.
+  for (const auto& e : result.episodes) {
+    for (uint32_t other = 0; other < options.sites; other++) {
+      if (other == e.site) {
+        continue;
+      }
+      uint32_t a = std::min(e.site, other);
+      uint32_t b = std::max(e.site, other);
+      std::vector<common::Time> over_start(options.thresholds.size(), -1);
+      for (common::Time t = e.start; t < e.start + e.duration; t += common::kSecond) {
+        double latency_s = std::min(rng.Exponential(options.episode_latency_mean_s),
+                                    options.episode_latency_cap_s);
+        for (size_t ti = 0; ti < options.thresholds.size(); ti++) {
+          double thr_s = static_cast<double>(options.thresholds[ti]) /
+                         static_cast<double>(common::kSecond);
+          bool over = latency_s > thr_s;
+          if (over && over_start[ti] < 0) {
+            over_start[ti] = t;
+          } else if (!over && over_start[ti] >= 0) {
+            // The link looks failed from threshold expiry of the first missed ping
+            // until the last over-threshold ping (t - 1s) also resolves at its own
+            // threshold expiry.
+            failures[ti].push_back({over_start[ti] + options.thresholds[ti],
+                                    t + options.thresholds[ti], a, b});
+            over_start[ti] = -1;
+          }
+        }
+      }
+      for (size_t ti = 0; ti < options.thresholds.size(); ti++) {
+        if (over_start[ti] >= 0) {
+          failures[ti].push_back({over_start[ti] + options.thresholds[ti],
+                                  e.start + e.duration + options.thresholds[ti], a, b});
+        }
+      }
+    }
+  }
+
+  // 4. Sweep each threshold's failure intervals to compute simultaneity stats.
+  result.f_bound = 0;
+  for (size_t ti = 0; ti < options.thresholds.size(); ti++) {
+    ThresholdSummary s;
+    s.threshold = options.thresholds[ti];
+    struct Edge {
+      common::Time t;
+      int delta;
+      uint32_t a, b;
+    };
+    std::vector<Edge> edges;
+    for (const auto& f : failures[ti]) {
+      if (f.end <= f.start) {
+        continue;
+      }
+      edges.push_back({f.start, +1, f.a, f.b});
+      edges.push_back({f.end, -1, f.a, f.b});
+      s.failed_link_seconds += static_cast<uint64_t>((f.end - f.start) / common::kSecond);
+    }
+    std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
+      if (x.t != y.t) {
+        return x.t < y.t;
+      }
+      return x.delta < y.delta;  // process closings first
+    });
+    std::map<std::pair<uint32_t, uint32_t>, int> active;
+    uint32_t current = 0;
+    bool in_event = false;
+    for (const auto& ed : edges) {
+      auto key = std::make_pair(ed.a, ed.b);
+      active[key] += ed.delta;
+      if (active[key] <= 0) {
+        active.erase(key);
+      }
+      std::set<std::pair<uint32_t, uint32_t>> live;
+      for (const auto& [k, v] : active) {
+        live.insert(k);
+      }
+      current = static_cast<uint32_t>(live.size());
+      if (current > 0 && !in_event) {
+        in_event = true;
+        s.failure_events++;
+      } else if (current == 0) {
+        in_event = false;
+      }
+      s.max_simultaneous = std::max(s.max_simultaneous, current);
+      s.max_sites_to_cover = std::max(s.max_sites_to_cover, MinSiteCover(live));
+    }
+    result.f_bound = std::max(result.f_bound, s.max_sites_to_cover);
+    result.per_threshold.push_back(s);
+  }
+  return result;
+}
+
+std::string FormatLinkMonReport(const LinkMonOptions& options, const LinkMonResult& r) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "Link-failure study: %u sites, %u days, 1 ping/s per link\n",
+                options.sites, options.days);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "Degradation episodes: %zu, background blips: %u\n",
+                r.episodes.size(), r.background_blips);
+  out += buf;
+  for (const auto& e : r.episodes) {
+    std::snprintf(buf, sizeof(buf), "  day %lld site %s slow for %llds\n",
+                  static_cast<long long>(e.start / common::kSecond / 86400),
+                  sim::AllRegions()[e.site % sim::AllRegions().size()].label,
+                  static_cast<long long>(e.duration / common::kSecond));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%-10s %10s %14s %16s %12s\n", "threshold", "events",
+                "max-simult", "failed-link-sec", "sites-cover");
+  out += buf;
+  for (const auto& s : r.per_threshold) {
+    std::snprintf(buf, sizeof(buf), "%7llds %10u %14u %16llu %12u\n",
+                  static_cast<long long>(s.threshold / common::kSecond),
+                  s.failure_events, s.max_simultaneous,
+                  static_cast<unsigned long long>(s.failed_link_seconds),
+                  s.max_sites_to_cover);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "=> crashing %u site(s) always covers all slow links: f <= %u held "
+                "throughout the campaign\n",
+                r.f_bound, r.f_bound);
+  out += buf;
+  return out;
+}
+
+}  // namespace harness

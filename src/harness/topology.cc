@@ -1,0 +1,129 @@
+#include "src/harness/topology.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/sim/regions.h"
+
+namespace harness {
+
+std::unique_ptr<sim::MatrixLatency> BuildLatency(const std::vector<size_t>& site_regions,
+                                                 double jitter_frac) {
+  return std::make_unique<sim::MatrixLatency>(sim::OneWayMatrix(site_regions),
+                                              jitter_frac);
+}
+
+std::vector<common::ProcessId> ByProximity(const sim::LatencyModel& latency, uint32_t n,
+                                           common::ProcessId i) {
+  std::vector<common::ProcessId> peers;
+  for (common::ProcessId p = 0; p < n; p++) {
+    if (p != i) {
+      peers.push_back(p);
+    }
+  }
+  std::sort(peers.begin(), peers.end(),
+            [&](common::ProcessId a, common::ProcessId b) {
+              common::Duration da = latency.BasePropagation(i, a);
+              common::Duration db = latency.BasePropagation(i, b);
+              if (da != db) {
+                return da < db;
+              }
+              return a < b;
+            });
+  return peers;
+}
+
+common::Duration ClientOneWay(size_t client_region, size_t site_region) {
+  const auto& regions = sim::AllRegions();
+  common::Duration rtt =
+      sim::ModeledRtt(regions[client_region], regions[site_region]);
+  if (client_region == site_region) {
+    rtt = common::kMillisecond;  // distinct machines in the same data center
+  }
+  return rtt / 2;
+}
+
+size_t ClosestSite(size_t client_region, const std::vector<size_t>& site_regions) {
+  CHECK(!site_regions.empty());
+  size_t best = 0;
+  common::Duration best_d = ClientOneWay(client_region, site_regions[0]);
+  for (size_t s = 1; s < site_regions.size(); s++) {
+    common::Duration d = ClientOneWay(client_region, site_regions[s]);
+    if (d < best_d) {
+      best_d = d;
+      best = s;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+// Round trip from site s to its closest quorum of `quorum_size` sites (including s).
+common::Duration QuorumRtt(const std::vector<size_t>& site_regions, size_t s,
+                           size_t quorum_size) {
+  const auto& regions = sim::AllRegions();
+  std::vector<common::Duration> rtts;
+  for (size_t j = 0; j < site_regions.size(); j++) {
+    if (j == s) {
+      continue;
+    }
+    rtts.push_back(sim::ModeledRtt(regions[site_regions[s]], regions[site_regions[j]]));
+  }
+  std::sort(rtts.begin(), rtts.end());
+  CHECK_GE(quorum_size, 1u);
+  if (quorum_size == 1) {
+    return 0;
+  }
+  // The quorum includes s itself, so we need quorum_size - 1 peers; latency is the
+  // round trip to the farthest of them.
+  CHECK_LE(quorum_size - 1, rtts.size());
+  return rtts[quorum_size - 2];
+}
+
+}  // namespace
+
+common::Duration OptimalLatency(const std::vector<size_t>& site_regions,
+                                const std::vector<size_t>& client_regions) {
+  size_t majority = site_regions.size() / 2 + 1;
+  double sum = 0;
+  for (size_t cr : client_regions) {
+    size_t s = ClosestSite(cr, site_regions);
+    common::Duration client_rtt = 2 * ClientOneWay(cr, site_regions[s]);
+    sum += static_cast<double>(client_rtt + QuorumRtt(site_regions, s, majority));
+  }
+  return static_cast<common::Duration>(sum / static_cast<double>(client_regions.size()));
+}
+
+common::ProcessId FairestLeader(const std::vector<size_t>& site_regions,
+                                const std::vector<size_t>& client_regions,
+                                size_t phase2_size) {
+  common::ProcessId best = 0;
+  double best_stddev = -1;
+  for (size_t L = 0; L < site_regions.size(); L++) {
+    common::Duration quorum_rtt = QuorumRtt(site_regions, L, phase2_size);
+    std::vector<double> lats;
+    for (size_t cr : client_regions) {
+      common::Duration client_rtt = 2 * ClientOneWay(cr, site_regions[L]);
+      lats.push_back(static_cast<double>(client_rtt + quorum_rtt));
+    }
+    double mean = 0;
+    for (double v : lats) {
+      mean += v;
+    }
+    mean /= static_cast<double>(lats.size());
+    double var = 0;
+    for (double v : lats) {
+      var += (v - mean) * (v - mean);
+    }
+    double stddev = std::sqrt(var / static_cast<double>(lats.size()));
+    if (best_stddev < 0 || stddev < best_stddev) {
+      best_stddev = stddev;
+      best = static_cast<common::ProcessId>(L);
+    }
+  }
+  return best;
+}
+
+}  // namespace harness

@@ -1,0 +1,44 @@
+// Topology helpers: latency-derived quorum geometry, optimal-latency bounds and the
+// fairest-leader rule used when benchmarking FPaxos (§5).
+#ifndef SRC_HARNESS_TOPOLOGY_H_
+#define SRC_HARNESS_TOPOLOGY_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/latency.h"
+
+namespace harness {
+
+// Builds the WAN latency model for sites placed at the given regions (indexes into
+// sim::AllRegions()).
+std::unique_ptr<sim::MatrixLatency> BuildLatency(const std::vector<size_t>& site_regions,
+                                                 double jitter_frac);
+
+// Peers of site i sorted by increasing one-way base latency (ties by id; i excluded).
+std::vector<common::ProcessId> ByProximity(const sim::LatencyModel& latency, uint32_t n,
+                                           common::ProcessId i);
+
+// One-way base delay between a client region and a site region (same region: 1ms RTT/2
+// floor, modeling co-located but distinct machines).
+common::Duration ClientOneWay(size_t client_region, size_t site_region);
+
+// The paper's optimal latency for leaderless protocols (Figure 5, black bar): average
+// over clients of round trip to the closest site plus that site's round trip to its
+// closest majority quorum.
+common::Duration OptimalLatency(const std::vector<size_t>& site_regions,
+                                const std::vector<size_t>& client_regions);
+
+// Index of the closest deployed site for a client region.
+size_t ClosestSite(size_t client_region, const std::vector<size_t>& site_regions);
+
+// The FPaxos leader: the site minimizing the standard deviation of client-perceived
+// latency (client->leader RTT + leader->phase-2-quorum RTT), per §5.
+common::ProcessId FairestLeader(const std::vector<size_t>& site_regions,
+                                const std::vector<size_t>& client_regions,
+                                size_t phase2_size);
+
+}  // namespace harness
+
+#endif  // SRC_HARNESS_TOPOLOGY_H_

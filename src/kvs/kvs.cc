@@ -1,0 +1,66 @@
+#include "src/kvs/kvs.h"
+
+namespace kvs {
+
+std::string KvStore::Apply(const smr::Command& cmd) {
+  switch (cmd.op) {
+    case smr::Op::kNoOp:
+      return "";
+    case smr::Op::kGet: {
+      auto it = map_.find(cmd.key);
+      return it == map_.end() ? "" : it->second;
+    }
+    case smr::Op::kPut:
+      map_[cmd.key] = cmd.value;
+      return "";
+    case smr::Op::kRmw: {
+      std::string& v = map_[cmd.key];
+      std::string prev = v;
+      v += cmd.value;
+      return prev;
+    }
+    case smr::Op::kScan: {
+      std::string out;
+      auto it = map_.find(cmd.key);
+      if (it != map_.end()) {
+        out += it->second;
+      }
+      for (const auto& k : cmd.more_keys) {
+        auto jt = map_.find(k);
+        if (jt != map_.end()) {
+          out += jt->second;
+        }
+      }
+      return out;
+    }
+    case smr::Op::kMPut: {
+      map_[cmd.key] = cmd.value;
+      for (const auto& k : cmd.more_keys) {
+        map_[k] = cmd.value;
+      }
+      return "";
+    }
+  }
+  return "";
+}
+
+uint64_t KvStore::StateDigest() const {
+  // Order-independent digest: XOR of per-entry hashes, so iteration order of the
+  // unordered_map does not matter.
+  uint64_t digest = 0;
+  std::hash<std::string> h;
+  for (const auto& [k, v] : map_) {
+    uint64_t e = h(k) * 0x9e3779b97f4a7c15ull ^ h(v);
+    e ^= e >> 29;
+    e *= 0xbf58476d1ce4e5b9ull;
+    digest ^= e;
+  }
+  return digest;
+}
+
+const std::string* KvStore::Lookup(const std::string& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+}  // namespace kvs

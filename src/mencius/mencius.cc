@@ -1,0 +1,167 @@
+#include "src/mencius/mencius.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace mencius {
+
+using common::ProcessId;
+
+MenciusEngine::MenciusEngine(Config config) : config_(config) {
+  CHECK_GE(config_.n, 3u);
+}
+
+void MenciusEngine::OnStart() {
+  CHECK_EQ(config_.n, n_);
+  next_own_slot_ = self_;
+}
+
+void MenciusEngine::Submit(smr::Command cmd) {
+  stats_.submitted++;
+  uint64_t slot = next_own_slot_;
+  next_own_slot_ += n_;
+  Slot& s = log_[slot];
+  s.state = SlotState::kProposed;
+  s.cmd = cmd;
+  s.acked = common::Quorum();
+  s.acked.Add(self_);
+  msg::MnPropose prop;
+  prop.slot = slot;
+  prop.cmd = std::move(cmd);
+  prop.own_next = next_own_slot_;
+  for (ProcessId p = 0; p < n_; p++) {
+    if (p != self_) {
+      SendTo(p, prop);
+    }
+  }
+  if (n_ == 1) {
+    TryExecute();
+  }
+}
+
+void MenciusEngine::HandlePropose(ProcessId from, const msg::MnPropose& m) {
+  Slot& s = log_[m.slot];
+  if (s.state == SlotState::kEmpty) {
+    s.state = SlotState::kProposed;
+    s.cmd = m.cmd;
+  }
+  // Free our own lagging slots so the proposer's slot can eventually execute.
+  SkipOwnSlotsBelow(m.slot);
+  msg::MnAck ack;
+  ack.slot = m.slot;
+  ack.own_next = next_own_slot_;
+  SendTo(from, ack);
+}
+
+void MenciusEngine::SkipOwnSlotsBelow(uint64_t bound) {
+  if (next_own_slot_ >= bound) {
+    return;
+  }
+  uint64_t from = next_own_slot_;
+  MarkSkipped(self_, from, bound);
+  // Advance to the smallest owned slot >= bound.
+  uint64_t steps = (bound - next_own_slot_ + n_ - 1) / n_;
+  next_own_slot_ += steps * n_;
+  msg::MnSkipRange skip;
+  skip.owner = self_;
+  skip.from = from;
+  skip.to = bound;
+  for (ProcessId p = 0; p < n_; p++) {
+    if (p != self_) {
+      SendTo(p, skip);
+    }
+  }
+  TryExecute();
+}
+
+void MenciusEngine::MarkSkipped(ProcessId owner, uint64_t from, uint64_t to) {
+  // Owned slots of `owner` in [from, to).
+  uint64_t first = from;
+  uint64_t rem = first % n_;
+  if (rem != owner) {
+    first += (owner + n_ - rem) % n_;
+  }
+  for (uint64_t slot = first; slot < to; slot += n_) {
+    Slot& s = log_[slot];
+    if (s.state == SlotState::kEmpty) {
+      s.state = SlotState::kSkipped;
+    }
+  }
+}
+
+void MenciusEngine::HandleAck(ProcessId from, const msg::MnAck& m) {
+  auto it = log_.find(m.slot);
+  if (it == log_.end() || OwnerOf(m.slot) != self_) {
+    return;
+  }
+  Slot& s = it->second;
+  if (s.state != SlotState::kProposed || s.acked.Contains(from)) {
+    return;
+  }
+  s.acked.Add(from);
+  if (s.acked.size() == n_) {
+    // Every replica acknowledged (and thereby skipped past this slot): commit.
+    s.state = SlotState::kCommitted;
+    stats_.committed++;
+    ctx_->Committed(common::Dot{self_, m.slot}, s.cmd, /*fast_path=*/false);
+    msg::MnCommit commit;
+    commit.slot = m.slot;
+    commit.cmd = s.cmd;
+    for (ProcessId p = 0; p < n_; p++) {
+      if (p != self_) {
+        SendTo(p, commit);
+      }
+    }
+    TryExecute();
+  }
+}
+
+void MenciusEngine::HandleCommit(ProcessId from, const msg::MnCommit& m) {
+  Slot& s = log_[m.slot];
+  if (s.state == SlotState::kCommitted) {
+    return;
+  }
+  s.state = SlotState::kCommitted;
+  s.cmd = m.cmd;
+  stats_.committed++;
+  ctx_->Committed(common::Dot{OwnerOf(m.slot), m.slot}, s.cmd, /*fast_path=*/false);
+  TryExecute();
+}
+
+void MenciusEngine::HandleSkipRange(ProcessId from, const msg::MnSkipRange& m) {
+  MarkSkipped(m.owner, m.from, m.to);
+  TryExecute();
+}
+
+void MenciusEngine::TryExecute() {
+  while (true) {
+    auto it = log_.find(execute_upto_);
+    if (it == log_.end()) {
+      return;
+    }
+    Slot& s = it->second;
+    if (s.state == SlotState::kCommitted) {
+      stats_.executed++;
+      ctx_->Executed(common::Dot{OwnerOf(execute_upto_), execute_upto_}, s.cmd);
+    } else if (s.state != SlotState::kSkipped) {
+      return;
+    }
+    log_.erase(it);
+    execute_upto_++;
+  }
+}
+
+void MenciusEngine::OnMessage(ProcessId from, const msg::Message& m) {
+  if (auto* v = std::get_if<msg::MnPropose>(&m)) {
+    HandlePropose(from, *v);
+  } else if (auto* v = std::get_if<msg::MnAck>(&m)) {
+    HandleAck(from, *v);
+  } else if (auto* v = std::get_if<msg::MnCommit>(&m)) {
+    HandleCommit(from, *v);
+  } else if (auto* v = std::get_if<msg::MnSkipRange>(&m)) {
+    HandleSkipRange(from, *v);
+  }
+}
+
+}  // namespace mencius

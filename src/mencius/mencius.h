@@ -1,0 +1,72 @@
+// Mencius baseline [Mao et al., OSDI'08]: rotating slot ownership.
+//
+// The log is partitioned round-robin: process i owns slots {i, i+n, i+2n, ...}. A
+// command submitted at i is proposed in i's next owned slot and broadcast to everyone;
+// it commits once *all* replicas acknowledge (so the protocol runs at the speed of the
+// slowest replica — the behaviour Figures 5 and 6 show). When a replica observes a
+// proposal for a slot beyond its own frontier it "skips" its owned slots below that
+// point, broadcasting an MnSkipRange so every replica can fill the gaps and keep
+// in-order execution progressing.
+//
+// This implementation targets the failure-free case (the paper never benchmarks
+// Mencius under failures); a crashed replica blocks progress until reconfiguration,
+// which is out of scope.
+#ifndef SRC_MENCIUS_MENCIUS_H_
+#define SRC_MENCIUS_MENCIUS_H_
+
+#include <map>
+#include <vector>
+
+#include "src/common/quorum.h"
+#include "src/common/types.h"
+#include "src/msg/message.h"
+#include "src/smr/engine.h"
+
+namespace mencius {
+
+struct Config {
+  uint32_t n = 3;
+};
+
+class MenciusEngine final : public smr::Engine {
+ public:
+  explicit MenciusEngine(Config config);
+
+  void OnStart() override;
+  void Submit(smr::Command cmd) override;
+  void OnMessage(common::ProcessId from, const msg::Message& m) override;
+
+  uint64_t ExecutedUpto() const { return execute_upto_; }
+
+ private:
+  enum class SlotState : uint8_t { kEmpty, kProposed, kCommitted, kSkipped };
+
+  struct Slot {
+    SlotState state = SlotState::kEmpty;
+    smr::Command cmd;
+    common::Quorum acked;  // proposer-side
+  };
+
+  void HandlePropose(common::ProcessId from, const msg::MnPropose& m);
+  void HandleAck(common::ProcessId from, const msg::MnAck& m);
+  void HandleCommit(common::ProcessId from, const msg::MnCommit& m);
+  void HandleSkipRange(common::ProcessId from, const msg::MnSkipRange& m);
+
+  // Skips own slots < bound and announces the range (no-op if none pending).
+  void SkipOwnSlotsBelow(uint64_t bound);
+  void MarkSkipped(common::ProcessId owner, uint64_t from, uint64_t to);
+  void TryExecute();
+
+  common::ProcessId OwnerOf(uint64_t slot) const {
+    return static_cast<common::ProcessId>(slot % n_);
+  }
+
+  Config config_;
+  std::map<uint64_t, Slot> log_;
+  uint64_t next_own_slot_ = 0;  // smallest unused slot owned by this process
+  uint64_t execute_upto_ = 0;
+};
+
+}  // namespace mencius
+
+#endif  // SRC_MENCIUS_MENCIUS_H_

@@ -1,0 +1,238 @@
+// Protocol messages for all four SMR protocols plus the client RPCs of the real
+// runtime, wrapped in a single std::variant envelope.
+//
+// Every message is fully serializable through src/codec (exercised by the TCP transport
+// and round-trip tests); the discrete-event simulator passes Message values directly but
+// charges the wire size computed by EncodedSize().
+#ifndef SRC_MSG_MESSAGE_H_
+#define SRC_MSG_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "src/common/dep_set.h"
+#include "src/common/quorum.h"
+#include "src/common/types.h"
+#include "src/smr/command.h"
+
+namespace msg {
+
+using common::Ballot;
+using common::DepSet;
+using common::Dot;
+using common::Quorum;
+
+// ---------------------------------------------------------------------------
+// Atlas (Algorithm 1 + Algorithm 2)
+// ---------------------------------------------------------------------------
+
+struct MCollect {
+  Dot dot;
+  smr::Command cmd;
+  DepSet past;     // coordinator's conflicts(c)
+  Quorum quorum;   // the fast quorum Q
+  bool nfr = false;  // command processed via the NFR read optimization (§4)
+};
+
+struct MCollectAck {
+  Dot dot;
+  DepSet deps;
+};
+
+struct MConsensus {
+  Dot dot;
+  smr::Command cmd;
+  DepSet deps;
+  Ballot ballot = 0;
+};
+
+struct MConsensusAck {
+  Dot dot;
+  Ballot ballot = 0;
+};
+
+struct MCommit {
+  Dot dot;
+  smr::Command cmd;
+  DepSet deps;
+};
+
+struct MRec {
+  Dot dot;
+  smr::Command cmd;  // noOp when the recoverer never saw the payload
+  Ballot ballot = 0;
+};
+
+struct MRecAck {
+  Dot dot;
+  smr::Command cmd;
+  DepSet deps;
+  Quorum quorum;      // fast quorum if this process saw MCollect, empty otherwise
+  Ballot accepted_ballot = 0;  // abal: last ballot at which a proposal was accepted
+  Ballot ballot = 0;
+};
+
+// ---------------------------------------------------------------------------
+// EPaxos (commit protocol; same message flow, different fast-path rule)
+// ---------------------------------------------------------------------------
+
+struct EpPreAccept {
+  Dot dot;
+  smr::Command cmd;
+  DepSet deps;
+  uint64_t seqno = 0;
+  Quorum quorum;     // the fast quorum chosen by the command leader
+  bool nfr = false;  // command processed via the NFR read optimization (§4)
+};
+
+struct EpPreAcceptAck {
+  Dot dot;
+  DepSet deps;
+  uint64_t seqno = 0;
+};
+
+struct EpAccept {
+  Dot dot;
+  smr::Command cmd;
+  DepSet deps;
+  uint64_t seqno = 0;
+  Ballot ballot = 0;
+};
+
+struct EpAcceptAck {
+  Dot dot;
+  Ballot ballot = 0;
+};
+
+struct EpCommit {
+  Dot dot;
+  smr::Command cmd;
+  DepSet deps;
+  uint64_t seqno = 0;
+};
+
+struct EpPrepare {
+  Dot dot;
+  Ballot ballot = 0;
+};
+
+struct EpPrepareAck {
+  Dot dot;
+  smr::Command cmd;
+  DepSet deps;
+  uint64_t seqno = 0;
+  uint8_t phase = 0;  // 0=never seen, 1=preaccepted, 2=accepted, 3=committed
+  Ballot accepted_ballot = 0;
+  Ballot ballot = 0;
+  bool was_initial_coordinator_reply = false;  // preaccepted at the command leader
+};
+
+// ---------------------------------------------------------------------------
+// Multi-Paxos / Flexible Paxos (leader-based log)
+// ---------------------------------------------------------------------------
+
+struct PxForward {  // non-leader replica forwards a client command to the leader
+  smr::Command cmd;
+};
+
+struct PxAccept {  // Paxos phase 2a for a log slot
+  uint64_t slot = 0;
+  Ballot ballot = 0;
+  smr::Command cmd;
+};
+
+struct PxAccepted {  // phase 2b
+  uint64_t slot = 0;
+  Ballot ballot = 0;
+};
+
+struct PxCommit {  // learn notification, broadcast to all for execution
+  uint64_t slot = 0;
+  smr::Command cmd;
+};
+
+struct PxPrepare {  // phase 1a (leader election / fail-over)
+  Ballot ballot = 0;
+  uint64_t from_slot = 0;
+};
+
+struct PxPromiseEntry {
+  uint64_t slot = 0;
+  Ballot ballot = 0;
+  smr::Command cmd;
+};
+
+struct PxPromise {  // phase 1b
+  Ballot ballot = 0;
+  std::vector<PxPromiseEntry> accepted;
+};
+
+struct PxHeartbeat {
+  Ballot ballot = 0;
+  uint64_t committed_upto = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Mencius (round-robin slot ownership with skips)
+// ---------------------------------------------------------------------------
+
+struct MnPropose {
+  uint64_t slot = 0;
+  smr::Command cmd;
+  uint64_t own_next = 0;  // proposer's next owned slot, for implicit-skip tracking
+};
+
+struct MnAck {
+  uint64_t slot = 0;
+  uint64_t own_next = 0;  // acker's next owned slot after skipping past `slot`
+};
+
+struct MnCommit {
+  uint64_t slot = 0;
+  smr::Command cmd;
+};
+
+struct MnSkipRange {  // owner skipped its own slots in [from, to)
+  common::ProcessId owner = 0;
+  uint64_t from = 0;
+  uint64_t to = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Client RPCs (real runtime)
+// ---------------------------------------------------------------------------
+
+struct ClientRequest {
+  smr::Command cmd;
+};
+
+struct ClientReply {
+  uint64_t client = 0;
+  uint64_t seq = 0;
+  std::string value;
+  bool dropped = false;  // command was replaced by noOp during recovery
+};
+
+// ---------------------------------------------------------------------------
+
+using Message = std::variant<
+    MCollect, MCollectAck, MConsensus, MConsensusAck, MCommit, MRec, MRecAck,
+    EpPreAccept, EpPreAcceptAck, EpAccept, EpAcceptAck, EpCommit, EpPrepare, EpPrepareAck,
+    PxForward, PxAccept, PxAccepted, PxCommit, PxPrepare, PxPromise, PxHeartbeat,
+    MnPropose, MnAck, MnCommit, MnSkipRange, ClientRequest, ClientReply>;
+
+// Human-readable message type name, for traces and debugging.
+const char* TypeName(const Message& m);
+
+// Serialization. Encode writes a type tag followed by the payload; Decode returns
+// nullopt on malformed input.
+void Encode(codec::Writer& w, const Message& m);
+bool Decode(codec::Reader& r, Message& out);
+
+// Size of the encoded representation, used by the simulator's bandwidth/latency model.
+size_t EncodedSize(const Message& m);
+
+}  // namespace msg
+
+#endif  // SRC_MSG_MESSAGE_H_

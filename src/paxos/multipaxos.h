@@ -1,0 +1,110 @@
+// Leader-based Multi-Paxos with Flexible Paxos quorums [Howard et al., OPODIS'16].
+//
+// The FPaxos baseline of the paper: a distinguished leader orders all commands in a
+// log. In the failure-free case the leader runs phase 2 against a quorum of f+1
+// acceptors (mode kFlexible) or a majority (mode kClassic = plain Paxos); fail-over
+// runs phase 1 against n-f (resp. majority) acceptors.
+//
+// Clients pay four message delays: client -> leader (PxForward when submitting at a
+// non-leader replica), leader -> phase-2 quorum round trip, plus the commit
+// notification back (piggybacked on PxCommit broadcast). This reproduces the latency
+// geometry of Figures 5-8.
+#ifndef SRC_PAXOS_MULTIPAXOS_H_
+#define SRC_PAXOS_MULTIPAXOS_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/common/quorum.h"
+#include "src/common/types.h"
+#include "src/msg/message.h"
+#include "src/smr/engine.h"
+
+namespace paxos {
+
+enum class QuorumMode {
+  kClassic,   // phase 1 and phase 2 use majorities (Paxos)
+  kFlexible,  // phase 2 uses f+1, phase 1 uses n-f (FPaxos)
+};
+
+struct Config {
+  uint32_t n = 3;
+  uint32_t f = 1;
+  QuorumMode mode = QuorumMode::kFlexible;
+  common::ProcessId initial_leader = 0;
+  std::vector<common::ProcessId> by_proximity;
+
+  // Leader failure detection is driven by OnSuspect from the harness; the election
+  // backoff spaces competing candidacies.
+  common::Duration election_retry = 2 * common::kSecond;
+
+  size_t Phase2Size() const {
+    return mode == QuorumMode::kFlexible ? f + 1 : n / 2 + 1;
+  }
+  size_t Phase1Size() const {
+    return mode == QuorumMode::kFlexible ? n - f : n / 2 + 1;
+  }
+};
+
+class PaxosEngine final : public smr::Engine {
+ public:
+  explicit PaxosEngine(Config config);
+
+  void OnStart() override;
+  void Submit(smr::Command cmd) override;
+  void OnMessage(common::ProcessId from, const msg::Message& m) override;
+  void OnTimer(uint64_t token) override;
+  void OnSuspect(common::ProcessId p) override;
+
+  bool IsLeader() const { return leading_; }
+  common::ProcessId CurrentLeader() const;
+  uint64_t LogLength() const { return next_slot_; }
+
+ private:
+  struct SlotState {
+    smr::Command cmd;
+    common::Ballot accepted_ballot = 0;
+    common::Quorum acked;
+    bool committed = false;
+    bool proposed_by_me = false;
+  };
+
+  void HandleForward(common::ProcessId from, const msg::PxForward& m);
+  void HandleAccept(common::ProcessId from, const msg::PxAccept& m);
+  void HandleAccepted(common::ProcessId from, const msg::PxAccepted& m);
+  void HandleCommit(common::ProcessId from, const msg::PxCommit& m);
+  void HandlePrepare(common::ProcessId from, const msg::PxPrepare& m);
+  void HandlePromise(common::ProcessId from, const msg::PxPromise& m);
+
+  void ProposeInSlot(uint64_t slot, const smr::Command& cmd);
+  void CommitSlot(uint64_t slot, const smr::Command& cmd);
+  void TryExecute();
+  void StartElection();
+  common::Quorum Phase2Quorum() const;
+
+  Config config_;
+
+  // Acceptor state.
+  common::Ballot promised_ = 0;
+  std::map<uint64_t, SlotState> log_;  // ordered: execution walks it sequentially
+
+  // Leader / proposer state.
+  bool leading_ = false;
+  common::Ballot ballot_ = 0;  // my ballot when leading / candidate
+  uint64_t next_slot_ = 0;     // next free slot (leader)
+
+  // Election state.
+  bool electing_ = false;
+  common::Quorum promises_;
+  std::vector<msg::PxPromise> promise_msgs_;
+  uint64_t election_from_slot_ = 0;
+
+  uint64_t execute_upto_ = 0;  // next slot to execute
+  std::set<common::ProcessId> suspected_;
+  static constexpr uint64_t kElectionRetryToken = 2;
+};
+
+}  // namespace paxos
+
+#endif  // SRC_PAXOS_MULTIPAXOS_H_

@@ -1,0 +1,427 @@
+#include "src/rt/node.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/codec/codec.h"
+#include "src/common/check.h"
+
+namespace rt {
+
+namespace {
+
+constexpr uint8_t kFrameMessage = 0;
+constexpr uint8_t kFramePeerHello = 1;
+constexpr uint8_t kFrameClientHello = 2;
+
+void SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  CHECK_GE(flags, 0);
+  CHECK_GE(fcntl(fd, F_SETFL, flags | O_NONBLOCK), 0);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+// Framed, buffered, non-blocking TCP connection bound to a Node's event loop.
+class Connection {
+ public:
+  Connection(Node* node, int fd) : node_(node), fd_(fd) {
+    SetNonBlocking(fd_);
+    SetNoDelay(fd_);
+    node_->loop_.WatchFd(fd_, EPOLLIN, [this](uint32_t events) { OnReady(events); });
+  }
+
+  ~Connection() {
+    if (fd_ >= 0) {
+      node_->loop_.UnwatchFd(fd_);
+      close(fd_);
+    }
+  }
+
+  void SendFrame(const std::vector<uint8_t>& payload) {
+    uint8_t header[4];
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    std::memcpy(header, &len, 4);
+    out_.insert(out_.end(), header, header + 4);
+    out_.insert(out_.end(), payload.begin(), payload.end());
+    Flush();
+  }
+
+  bool closed() const { return closed_; }
+  common::ProcessId peer_id = common::kInvalidProcess;  // set after peer hello
+  bool is_client = false;
+
+ private:
+  void OnReady(uint32_t events) {
+    if (events & EPOLLOUT) {
+      Flush();
+    }
+    if (events & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
+      ReadAll();
+    }
+  }
+
+  void ReadAll() {
+    uint8_t buf[16 * 1024];
+    while (true) {
+      ssize_t n = read(fd_, buf, sizeof(buf));
+      if (n > 0) {
+        in_.insert(in_.end(), buf, buf + n);
+      } else if (n == 0) {
+        closed_ = true;
+        break;
+      } else {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          break;
+        }
+        closed_ = true;
+        break;
+      }
+    }
+    size_t off = 0;
+    while (in_.size() - off >= 4) {
+      uint32_t len;
+      std::memcpy(&len, in_.data() + off, 4);
+      if (len > 64u * 1024 * 1024) {  // sanity bound
+        closed_ = true;
+        break;
+      }
+      if (in_.size() - off - 4 < len) {
+        break;
+      }
+      node_->OnFrame(this, in_.data() + off + 4, len);
+      off += 4 + len;
+    }
+    if (off > 0) {
+      in_.erase(in_.begin(), in_.begin() + static_cast<ptrdiff_t>(off));
+    }
+  }
+
+  void Flush() {
+    while (!out_.empty()) {
+      ssize_t n = write(fd_, out_.data(), out_.size());
+      if (n > 0) {
+        out_.erase(out_.begin(), out_.begin() + n);
+      } else {
+        if (errno != EAGAIN && errno != EWOULDBLOCK) {
+          closed_ = true;
+        }
+        break;
+      }
+    }
+    node_->loop_.ModifyFd(fd_, out_.empty() ? EPOLLIN : (EPOLLIN | EPOLLOUT));
+  }
+
+  Node* node_;
+  int fd_;
+  std::vector<uint8_t> in_;
+  std::vector<uint8_t> out_;
+  bool closed_ = false;
+};
+
+Node::Node(common::ProcessId id, std::vector<PeerAddress> peers, smr::Engine* engine,
+           smr::StateMachine* state_machine)
+    : self_(id), peers_(std::move(peers)), engine_(engine),
+      state_machine_(state_machine) {
+  CHECK_LT(self_, peers_.size());
+}
+
+Node::~Node() {
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+  }
+}
+
+bool Node::Listen() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  CHECK_GE(listen_fd_, 0);
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(peers_[self_].port);
+  if (bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return false;
+  }
+  if (peers_[self_].port == 0) {
+    socklen_t len = sizeof(addr);
+    getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), &len);
+    peers_[self_].port = ntohs(addr.sin_port);
+  }
+  CHECK_EQ(listen(listen_fd_, 64), 0);
+  SetNonBlocking(listen_fd_);
+  loop_.WatchFd(listen_fd_, EPOLLIN, [this](uint32_t) { AcceptReady(); });
+  return true;
+}
+
+void Node::AcceptReady() {
+  while (true) {
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      break;
+    }
+    anonymous_.push_back(std::make_unique<Connection>(this, fd));
+  }
+}
+
+void Node::Run() {
+  CHECK_GE(listen_fd_, 0);
+  // Dial peers with a higher id; retry until everyone is up.
+  for (common::ProcessId p = self_ + 1; p < peers_.size(); p++) {
+    int fd = -1;
+    while (true) {
+      fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      CHECK_GE(fd, 0);
+      struct sockaddr_in addr;
+      std::memset(&addr, 0, sizeof(addr));
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(peers_[p].port);
+      inet_pton(AF_INET, peers_[p].host.c_str(), &addr.sin_addr);
+      if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) == 0) {
+        break;
+      }
+      close(fd);
+      usleep(50 * 1000);
+    }
+    auto conn = std::make_unique<Connection>(this, fd);
+    // Send peer hello.
+    codec::Writer w;
+    w.U8(kFramePeerHello);
+    w.U32(self_);
+    conn->SendFrame(w.TakeBuffer());
+    conn->peer_id = p;
+    OnPeerConnected(p, std::move(conn));
+  }
+  MaybeStartEngine();
+  loop_.Run();
+}
+
+void Node::OnPeerConnected(common::ProcessId peer, std::unique_ptr<Connection> conn) {
+  peer_conns_[peer] = std::move(conn);
+  MaybeStartEngine();
+}
+
+void Node::MaybeStartEngine() {
+  if (engine_started_ || peer_conns_.size() + 1 < peers_.size()) {
+    return;
+  }
+  engine_started_ = true;
+  engine_->Bind(self_, static_cast<uint32_t>(peers_.size()), this);
+  engine_->OnStart();
+}
+
+void Node::OnFrame(Connection* conn, const uint8_t* data, size_t size) {
+  codec::Reader r(data, size);
+  uint8_t kind = r.U8();
+  switch (kind) {
+    case kFramePeerHello: {
+      common::ProcessId peer = r.U32();
+      if (!r.ok() || peer >= peers_.size()) {
+        return;
+      }
+      conn->peer_id = peer;
+      // Move from anonymous_ into peer_conns_.
+      for (auto& holder : anonymous_) {
+        if (holder.get() == conn) {
+          OnPeerConnected(peer, std::move(holder));
+          holder = nullptr;
+          break;
+        }
+      }
+      anonymous_.erase(std::remove(anonymous_.begin(), anonymous_.end(), nullptr),
+                       anonymous_.end());
+      break;
+    }
+    case kFrameClientHello:
+      conn->is_client = true;
+      break;
+    case kFrameMessage: {
+      msg::Message m;
+      if (!msg::Decode(r, m)) {
+        return;
+      }
+      if (conn->is_client) {
+        if (auto* req = std::get_if<msg::ClientRequest>(&m)) {
+          waiting_clients_[chk::CmdKey{req->cmd.client, req->cmd.seq}] = conn;
+          if (engine_started_) {
+            engine_->Submit(req->cmd);
+          }
+        }
+        return;
+      }
+      if (conn->peer_id != common::kInvalidProcess && engine_started_) {
+        engine_->OnMessage(conn->peer_id, m);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Node::Send(common::ProcessId to, msg::Message m) {
+  auto it = peer_conns_.find(to);
+  if (it == peer_conns_.end() || it->second == nullptr || it->second->closed()) {
+    return;  // peer down; engines tolerate message loss
+  }
+  codec::Writer w;
+  w.U8(kFrameMessage);
+  msg::Encode(w, m);
+  it->second->SendFrame(w.TakeBuffer());
+}
+
+void Node::SetTimer(common::Duration delay, uint64_t token) {
+  loop_.AddTimer(delay, [this, token]() { engine_->OnTimer(token); });
+}
+
+void Node::Executed(const common::Dot& dot, const smr::Command& cmd) {
+  std::string result = state_machine_->Apply(cmd);
+  auto it = waiting_clients_.find(chk::CmdKey{cmd.client, cmd.seq});
+  if (it == waiting_clients_.end()) {
+    return;
+  }
+  Connection* conn = it->second;
+  waiting_clients_.erase(it);
+  if (conn == nullptr || conn->closed()) {
+    return;
+  }
+  msg::ClientReply reply;
+  reply.client = cmd.client;
+  reply.seq = cmd.seq;
+  reply.value = std::move(result);
+  codec::Writer w;
+  w.U8(kFrameMessage);
+  msg::Encode(w, msg::Message{reply});
+  conn->SendFrame(w.TakeBuffer());
+}
+
+void Node::Dropped(const common::Dot& dot, const smr::Command& original) {
+  auto it = waiting_clients_.find(chk::CmdKey{original.client, original.seq});
+  if (it == waiting_clients_.end()) {
+    return;
+  }
+  Connection* conn = it->second;
+  waiting_clients_.erase(it);
+  if (conn == nullptr || conn->closed()) {
+    return;
+  }
+  msg::ClientReply reply;
+  reply.client = original.client;
+  reply.seq = original.seq;
+  reply.dropped = true;
+  codec::Writer w;
+  w.U8(kFrameMessage);
+  msg::Encode(w, msg::Message{reply});
+  conn->SendFrame(w.TakeBuffer());
+}
+
+void Node::Stop() { loop_.Stop(); }
+
+// ---------------------------------------------------------------------------
+
+Client::Client(const std::string& host, uint16_t port) : host_(host), port_(port) {}
+
+Client::~Client() {
+  if (fd_ >= 0) {
+    close(fd_);
+  }
+}
+
+bool Client::Connect() {
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return false;
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  inet_pton(AF_INET, host_.c_str(), &addr.sin_addr);
+  if (connect(fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  SetNoDelay(fd_);
+  // Client hello frame.
+  codec::Writer w;
+  w.U8(kFrameClientHello);
+  uint32_t len = static_cast<uint32_t>(w.size());
+  std::vector<uint8_t> out(4);
+  std::memcpy(out.data(), &len, 4);
+  out.insert(out.end(), w.buffer().begin(), w.buffer().end());
+  return write(fd_, out.data(), out.size()) == static_cast<ssize_t>(out.size());
+}
+
+bool Client::Call(const smr::Command& cmd, std::string* result_out) {
+  if (fd_ < 0) {
+    return false;
+  }
+  msg::ClientRequest req;
+  req.cmd = cmd;
+  codec::Writer w;
+  w.U8(kFrameMessage);
+  msg::Encode(w, msg::Message{req});
+  uint32_t len = static_cast<uint32_t>(w.size());
+  std::vector<uint8_t> out(4);
+  std::memcpy(out.data(), &len, 4);
+  out.insert(out.end(), w.buffer().begin(), w.buffer().end());
+  if (write(fd_, out.data(), out.size()) != static_cast<ssize_t>(out.size())) {
+    return false;
+  }
+  // Blocking read of one reply frame.
+  std::vector<uint8_t> in;
+  while (true) {
+    uint8_t buf[4096];
+    ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n <= 0) {
+      return false;
+    }
+    in.insert(in.end(), buf, buf + n);
+    if (in.size() < 4) {
+      continue;
+    }
+    uint32_t frame_len;
+    std::memcpy(&frame_len, in.data(), 4);
+    if (in.size() - 4 < frame_len) {
+      continue;
+    }
+    codec::Reader r(in.data() + 4, frame_len);
+    if (r.U8() != kFrameMessage) {
+      return false;
+    }
+    msg::Message m;
+    if (!msg::Decode(r, m)) {
+      return false;
+    }
+    auto* reply = std::get_if<msg::ClientReply>(&m);
+    if (reply == nullptr) {
+      return false;
+    }
+    if (reply->client != cmd.client || reply->seq != cmd.seq) {
+      // Stale reply (shouldn't happen with one outstanding call); skip the frame.
+      in.erase(in.begin(), in.begin() + 4 + frame_len);
+      continue;
+    }
+    if (result_out != nullptr) {
+      *result_out = reply->dropped ? "<dropped>" : reply->value;
+    }
+    return true;
+  }
+}
+
+}  // namespace rt

@@ -1,0 +1,100 @@
+// Real-runtime replica node: runs any sans-I/O engine over TCP.
+//
+// A node listens on one port for both peer and client connections; frames are
+// 4-byte little-endian length + codec-encoded payload:
+//   peer hello:   [u8 = 1][u32 sender_id]
+//   client hello: [u8 = 2]
+//   message:      [u8 = 0][msg::Message]
+// Peers form a full mesh (node i dials every peer j > i; lower ids accept). Client
+// ClientRequest commands are submitted to the local engine; the reply is sent when the
+// command executes locally.
+//
+// Scope: the failure-free data path (reconnect/catch-up on TCP loss is future work;
+// the simulator covers failure experiments deterministically).
+#ifndef SRC_RT_NODE_H_
+#define SRC_RT_NODE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/chk/checker.h"
+#include "src/rt/event_loop.h"
+#include "src/smr/engine.h"
+#include "src/smr/state_machine.h"
+
+namespace rt {
+
+struct PeerAddress {
+  std::string host;
+  uint16_t port = 0;
+};
+
+class Connection;
+
+class Node final : public smr::Context {
+ public:
+  // Engine and state machine are borrowed and must outlive the node.
+  Node(common::ProcessId id, std::vector<PeerAddress> peers, smr::Engine* engine,
+       smr::StateMachine* state_machine);
+  ~Node();
+
+  // Binds the listen socket; returns false on bind failure.
+  bool Listen();
+  // Dials higher-id peers, waits for lower-id peers, then starts the engine and
+  // serves until Stop(). Blocks.
+  void Run();
+  void Stop();
+
+  uint16_t port() const { return peers_[self_].port; }
+
+  // smr::Context:
+  void Send(common::ProcessId to, msg::Message m) override;
+  common::Time Now() const override { return EventLoop::NowUs(); }
+  void SetTimer(common::Duration delay, uint64_t token) override;
+  void Executed(const common::Dot& dot, const smr::Command& cmd) override;
+  void Dropped(const common::Dot& dot, const smr::Command& original) override;
+
+ private:
+  friend class Connection;
+
+  void AcceptReady();
+  void OnPeerConnected(common::ProcessId peer, std::unique_ptr<Connection> conn);
+  void OnFrame(Connection* conn, const uint8_t* data, size_t size);
+  void MaybeStartEngine();
+
+  common::ProcessId self_;
+  std::vector<PeerAddress> peers_;
+  smr::Engine* engine_;
+  smr::StateMachine* state_machine_;
+
+  EventLoop loop_;
+  int listen_fd_ = -1;
+  std::map<common::ProcessId, std::unique_ptr<Connection>> peer_conns_;
+  std::vector<std::unique_ptr<Connection>> anonymous_;  // pre-hello + client conns
+  // (client, seq) -> connection serving that client.
+  std::unordered_map<chk::CmdKey, Connection*, chk::CmdKeyHash> waiting_clients_;
+  bool engine_started_ = false;
+};
+
+// Minimal synchronous client for examples and tests.
+class Client {
+ public:
+  Client(const std::string& host, uint16_t port);
+  ~Client();
+
+  bool Connect();
+  // Sends cmd and blocks until the reply arrives. Returns false on connection error.
+  bool Call(const smr::Command& cmd, std::string* result_out);
+
+ private:
+  std::string host_;
+  uint16_t port_;
+  int fd_ = -1;
+};
+
+}  // namespace rt
+
+#endif  // SRC_RT_NODE_H_

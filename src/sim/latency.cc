@@ -1,0 +1,36 @@
+#include "src/sim/latency.h"
+
+namespace sim {
+
+MatrixLatency::MatrixLatency(std::vector<std::vector<common::Duration>> matrix,
+                             double jitter_frac)
+    : matrix_(std::move(matrix)), jitter_frac_(jitter_frac) {
+  for (const auto& row : matrix_) {
+    CHECK_EQ(row.size(), matrix_.size());
+  }
+}
+
+common::Duration MatrixLatency::Propagation(common::ProcessId from, common::ProcessId to,
+                                            common::Rng& rng) const {
+  CHECK_LT(from, matrix_.size());
+  CHECK_LT(to, matrix_.size());
+  common::Duration base = matrix_[from][to];
+  if (from == to) {
+    return 0;
+  }
+  common::Duration jitter = 0;
+  if (jitter_frac_ > 0) {
+    jitter = static_cast<common::Duration>(
+        rng.Exponential(static_cast<double>(base) * jitter_frac_));
+  }
+  return base + jitter;
+}
+
+common::Duration MatrixLatency::BasePropagation(common::ProcessId from,
+                                                common::ProcessId to) const {
+  CHECK_LT(from, matrix_.size());
+  CHECK_LT(to, matrix_.size());
+  return from == to ? 0 : matrix_[from][to];
+}
+
+}  // namespace sim

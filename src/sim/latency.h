@@ -1,0 +1,76 @@
+// Network latency models for the discrete-event simulator.
+#ifndef SRC_SIM_LATENCY_H_
+#define SRC_SIM_LATENCY_H_
+
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace sim {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  // One-way propagation delay from -> to, excluding transmission (size) cost.
+  virtual common::Duration Propagation(common::ProcessId from, common::ProcessId to,
+                                       common::Rng& rng) const = 0;
+
+  // One-way delay without jitter; used to rank peers by proximity.
+  virtual common::Duration BasePropagation(common::ProcessId from,
+                                           common::ProcessId to) const = 0;
+};
+
+// Uniform delay with optional +/- jitter; handy for unit tests.
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(common::Duration one_way, common::Duration jitter)
+      : one_way_(one_way), jitter_(jitter) {}
+
+  common::Duration Propagation(common::ProcessId from, common::ProcessId to,
+                               common::Rng& rng) const override {
+    if (from == to) {
+      return 0;
+    }
+    common::Duration d = one_way_;
+    if (jitter_ > 0) {
+      d += rng.Range(0, jitter_);
+    }
+    return d;
+  }
+
+  common::Duration BasePropagation(common::ProcessId from,
+                                   common::ProcessId to) const override {
+    return from == to ? 0 : one_way_;
+  }
+
+ private:
+  common::Duration one_way_;
+  common::Duration jitter_;
+};
+
+// Full pairwise one-way latency matrix (values in microseconds), with multiplicative
+// log-normal-ish jitter drawn per message.
+class MatrixLatency final : public LatencyModel {
+ public:
+  // matrix[from][to] = one-way base delay. jitter_frac: each message is delayed by an
+  // extra Exponential(base * jitter_frac) term, matching the long-ish WAN tail.
+  MatrixLatency(std::vector<std::vector<common::Duration>> matrix, double jitter_frac);
+
+  common::Duration Propagation(common::ProcessId from, common::ProcessId to,
+                               common::Rng& rng) const override;
+  common::Duration BasePropagation(common::ProcessId from,
+                                   common::ProcessId to) const override;
+
+  size_t size() const { return matrix_.size(); }
+
+ private:
+  std::vector<std::vector<common::Duration>> matrix_;
+  double jitter_frac_;
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_LATENCY_H_

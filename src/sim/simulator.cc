@@ -1,0 +1,195 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace sim {
+
+class Simulator::SimContext final : public smr::Context {
+ public:
+  SimContext(Simulator* sim, common::ProcessId id) : sim_(sim), id_(id) {}
+
+  void Send(common::ProcessId to, msg::Message m) override {
+    sim_->SendMessage(id_, to, std::move(m));
+  }
+
+  common::Time Now() const override { return sim_->now_; }
+
+  void SetTimer(common::Duration delay, uint64_t token) override {
+    sim_->SetEngineTimer(id_, delay, token);
+  }
+
+  void Committed(const common::Dot& dot, const smr::Command& cmd,
+                 bool fast_path) override {
+    if (sim_->committed_) {
+      sim_->committed_(id_, dot, cmd, fast_path);
+    }
+  }
+
+  void Executed(const common::Dot& dot, const smr::Command& cmd) override {
+    if (sim_->executed_) {
+      sim_->executed_(id_, dot, cmd);
+    }
+  }
+
+  void Dropped(const common::Dot& dot, const smr::Command& original) override {
+    if (sim_->dropped_) {
+      sim_->dropped_(id_, dot, original);
+    }
+  }
+
+ private:
+  Simulator* sim_;
+  common::ProcessId id_;
+};
+
+Simulator::Simulator(std::unique_ptr<LatencyModel> latency, Options opts)
+    : latency_(std::move(latency)), opts_(opts), rng_(opts.seed) {}
+
+Simulator::~Simulator() = default;
+
+void Simulator::AddEngine(smr::Engine* engine) {
+  CHECK(!started_);
+  auto id = static_cast<common::ProcessId>(engines_.size());
+  engines_.push_back(engine);
+  contexts_.push_back(std::make_unique<SimContext>(this, id));
+  crashed_.push_back(false);
+  egress_free_.push_back(0);
+}
+
+void Simulator::Start() {
+  CHECK(!started_);
+  started_ = true;
+  uint32_t n = this->n();
+  last_arrival_.assign(static_cast<size_t>(n) * n, 0);
+  for (uint32_t i = 0; i < n; i++) {
+    engines_[i]->Bind(static_cast<common::ProcessId>(i), n, contexts_[i].get());
+  }
+  for (uint32_t i = 0; i < n; i++) {
+    engines_[i]->OnStart();
+  }
+}
+
+void Simulator::Post(common::Time t, std::function<void()> fn) {
+  CHECK_GE(t, now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::PostIn(common::Duration delay, std::function<void()> fn) {
+  Post(now_ + delay, std::move(fn));
+}
+
+void Simulator::SendMessage(common::ProcessId from, common::ProcessId to,
+                            msg::Message m) {
+  CHECK_NE(from, to);  // self-sends are handled inline by the engine base class
+  if (crashed_[from]) {
+    messages_dropped_++;
+    return;
+  }
+  size_t bytes = msg::EncodedSize(m);
+  bytes_sent_ += bytes;
+
+  // Egress serialization: the sender's NIC/CPU transmits messages one at a time.
+  common::Time tx_start = std::max(now_, egress_free_[from]);
+  common::Duration tx_cost = opts_.per_message_cost;
+  if (opts_.egress_bytes_per_sec > 0) {
+    tx_cost += static_cast<common::Duration>(static_cast<double>(bytes) /
+                                             opts_.egress_bytes_per_sec *
+                                             static_cast<double>(common::kSecond));
+  }
+  common::Time tx_done = tx_start + tx_cost;
+  egress_free_[from] = tx_done;
+
+  common::Time arrival = tx_done + latency_->Propagation(from, to, rng_);
+  auto extra = link_extra_delay_.find({from, to});
+  if (extra != link_extra_delay_.end()) {
+    arrival += extra->second;
+  }
+  if (opts_.fifo_links) {
+    size_t link = static_cast<size_t>(from) * n() + to;
+    arrival = std::max(arrival, last_arrival_[link]);
+    last_arrival_[link] = arrival;
+  }
+
+  Post(arrival, [this, from, to, m = std::move(m)]() mutable {
+    if (crashed_[to] || IsLinkDown(from, to)) {
+      messages_dropped_++;
+      return;
+    }
+    messages_delivered_++;
+    engines_[to]->OnMessage(from, m);
+  });
+}
+
+void Simulator::SetEngineTimer(common::ProcessId p, common::Duration delay,
+                               uint64_t token) {
+  Post(now_ + delay, [this, p, token]() {
+    if (!crashed_[p]) {
+      engines_[p]->OnTimer(token);
+    }
+  });
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // priority_queue has no non-const top-move; the const_cast is safe because the
+  // element is popped immediately after.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  CHECK_GE(ev.t, now_);
+  now_ = ev.t;
+  events_run_++;
+  ev.fn();
+  return true;
+}
+
+void Simulator::RunUntil(common::Time t) {
+  while (!queue_.empty() && queue_.top().t <= t) {
+    Step();
+  }
+  now_ = std::max(now_, t);
+}
+
+void Simulator::RunUntilIdle(uint64_t max_events) {
+  uint64_t steps = 0;
+  while (Step()) {
+    CHECK_LT(++steps, max_events);
+  }
+}
+
+void Simulator::Crash(common::ProcessId p) {
+  CHECK_LT(p, crashed_.size());
+  crashed_[p] = true;
+}
+
+void Simulator::SetLinkDown(common::ProcessId from, common::ProcessId to, bool down) {
+  if (down) {
+    links_down_.insert({from, to});
+  } else {
+    links_down_.erase({from, to});
+  }
+}
+
+bool Simulator::IsLinkDown(common::ProcessId from, common::ProcessId to) const {
+  return links_down_.count({from, to}) > 0;
+}
+
+void Simulator::SetLinkDelay(common::ProcessId from, common::ProcessId to,
+                             common::Duration extra) {
+  if (extra == 0) {
+    link_extra_delay_.erase({from, to});
+  } else {
+    link_extra_delay_[{from, to}] = extra;
+  }
+}
+
+void Simulator::Submit(common::ProcessId p, smr::Command cmd) {
+  CHECK(started_);
+  CHECK(!crashed_[p]);
+  engines_[p]->Submit(std::move(cmd));
+}
+
+}  // namespace sim

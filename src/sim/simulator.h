@@ -1,0 +1,151 @@
+// Deterministic discrete-event simulator.
+//
+// Drives a cluster of sans-I/O engines (src/smr/engine.h) with simulated WAN links:
+// per-link propagation delays from a LatencyModel, optional per-process egress
+// bandwidth/CPU modeling (to reproduce leader saturation, Figures 6 and 7), FIFO links
+// (TCP-like) or reordering links (stress testing), process crashes, and link failures.
+//
+// Determinism: all events are ordered by (time, insertion sequence) and all randomness
+// comes from a single seeded generator, so runs are exactly reproducible.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/msg/message.h"
+#include "src/sim/latency.h"
+#include "src/smr/engine.h"
+
+namespace sim {
+
+class Simulator {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    // TCP-like in-order delivery per (from, to) link.
+    bool fifo_links = true;
+    // Per-process egress bandwidth in bytes/second; 0 disables the transmission model.
+    double egress_bytes_per_sec = 0;
+    // Fixed CPU cost charged per message sent (serialization, syscalls).
+    common::Duration per_message_cost = 0;
+  };
+
+  using ExecutedFn = std::function<void(common::ProcessId, const common::Dot&,
+                                        const smr::Command&)>;
+  using CommittedFn = std::function<void(common::ProcessId, const common::Dot&,
+                                         const smr::Command&, bool fast_path)>;
+  using DroppedFn = std::function<void(common::ProcessId, const common::Dot&,
+                                       const smr::Command&)>;
+
+  Simulator(std::unique_ptr<LatencyModel> latency, Options opts);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Registers engines; process ids are assigned 0..n-1 in registration order.
+  // Engines are borrowed, not owned. Call Start() once after all registrations.
+  void AddEngine(smr::Engine* engine);
+  void Start();
+
+  void SetExecutedHandler(ExecutedFn fn) { executed_ = std::move(fn); }
+  void SetCommittedHandler(CommittedFn fn) { committed_ = std::move(fn); }
+  void SetDroppedHandler(DroppedFn fn) { dropped_ = std::move(fn); }
+
+  common::Time Now() const { return now_; }
+  uint32_t n() const { return static_cast<uint32_t>(engines_.size()); }
+  common::Rng& rng() { return rng_; }
+  const LatencyModel& latency() const { return *latency_; }
+
+  // Schedules fn at absolute time t (>= Now()).
+  void Post(common::Time t, std::function<void()> fn);
+  void PostIn(common::Duration delay, std::function<void()> fn);
+
+  // Runs the next event. Returns false when the queue is empty.
+  bool Step();
+  void RunUntil(common::Time t);
+  void RunFor(common::Duration d) { RunUntil(now_ + d); }
+  // Runs until no events remain (only safe with finite workloads).
+  void RunUntilIdle(uint64_t max_events = 100'000'000);
+
+  // Failure injection.
+  void Crash(common::ProcessId p);
+  bool IsCrashed(common::ProcessId p) const { return crashed_[p]; }
+  // Marks the directed link from->to down (messages silently dropped at delivery).
+  void SetLinkDown(common::ProcessId from, common::ProcessId to, bool down);
+  bool IsLinkDown(common::ProcessId from, common::ProcessId to) const;
+  // Adds a deterministic extra delay on the directed link (applied at send time);
+  // 0 restores the base latency model. Models slow links (§5.1 style degradations).
+  void SetLinkDelay(common::ProcessId from, common::ProcessId to,
+                    common::Duration extra);
+
+  // Submits cmd at process p right now (convenience for tests).
+  void Submit(common::ProcessId p, smr::Command cmd);
+
+  uint64_t messages_delivered() const { return messages_delivered_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t events_run() const { return events_run_; }
+
+ private:
+  class SimContext;
+
+  void SendMessage(common::ProcessId from, common::ProcessId to, msg::Message m);
+  void SetEngineTimer(common::ProcessId p, common::Duration delay, uint64_t token);
+
+  struct Event {
+    common::Time t;
+    uint64_t seq;
+    std::function<void()> fn;
+
+    bool operator>(const Event& other) const {
+      if (t != other.t) {
+        return t > other.t;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  std::unique_ptr<LatencyModel> latency_;
+  Options opts_;
+  common::Rng rng_;
+
+  std::vector<smr::Engine*> engines_;
+  std::vector<std::unique_ptr<SimContext>> contexts_;
+  std::vector<bool> crashed_;
+  std::set<std::pair<common::ProcessId, common::ProcessId>> links_down_;
+  std::map<std::pair<common::ProcessId, common::ProcessId>, common::Duration>
+      link_extra_delay_;
+
+  // Egress transmission model: time at which each process's NIC frees up.
+  std::vector<common::Time> egress_free_;
+  // FIFO links: earliest admissible next delivery per (from, to).
+  std::vector<common::Time> last_arrival_;  // n*n flattened
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  common::Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  bool started_ = false;
+
+  ExecutedFn executed_;
+  CommittedFn committed_;
+  DroppedFn dropped_;
+
+  uint64_t messages_delivered_ = 0;
+  uint64_t messages_dropped_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t events_run_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,106 @@
+#include "src/smr/command.h"
+
+namespace smr {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kNoOp:
+      return "noop";
+    case Op::kGet:
+      return "get";
+    case Op::kPut:
+      return "put";
+    case Op::kRmw:
+      return "rmw";
+    case Op::kScan:
+      return "scan";
+    case Op::kMPut:
+      return "mput";
+  }
+  return "?";
+}
+
+size_t Command::PayloadSize() const {
+  size_t n = key.size() + value.size();
+  for (const auto& k : more_keys) {
+    n += k.size();
+  }
+  return n;
+}
+
+void Command::Encode(codec::Writer& w) const {
+  w.Varint(client);
+  w.Varint(seq);
+  w.U8(static_cast<uint8_t>(op));
+  w.Bytes(key);
+  w.Varint(more_keys.size());
+  for (const auto& k : more_keys) {
+    w.Bytes(k);
+  }
+  w.Bytes(value);
+}
+
+Command Command::Decode(codec::Reader& r) {
+  Command c;
+  c.client = r.Varint();
+  c.seq = r.Varint();
+  c.op = static_cast<Op>(r.U8());
+  c.key = r.Bytes();
+  uint64_t n = r.Varint();
+  if (n > r.remaining()) {
+    return c;  // poisoned reader; caller checks r.ok()
+  }
+  c.more_keys.reserve(n);
+  for (uint64_t i = 0; i < n; i++) {
+    c.more_keys.push_back(r.Bytes());
+  }
+  c.value = r.Bytes();
+  return c;
+}
+
+bool operator==(const Command& a, const Command& b) {
+  return a.client == b.client && a.seq == b.seq && a.op == b.op && a.key == b.key &&
+         a.more_keys == b.more_keys && a.value == b.value;
+}
+
+std::string Command::ToString() const {
+  std::string s = OpName(op);
+  s += "(";
+  s += key;
+  s += ")@";
+  s += std::to_string(client) + ":" + std::to_string(seq);
+  return s;
+}
+
+Command MakeGet(uint64_t client, uint64_t seq, std::string key) {
+  Command c;
+  c.client = client;
+  c.seq = seq;
+  c.op = Op::kGet;
+  c.key = std::move(key);
+  return c;
+}
+
+Command MakePut(uint64_t client, uint64_t seq, std::string key, std::string value) {
+  Command c;
+  c.client = client;
+  c.seq = seq;
+  c.op = Op::kPut;
+  c.key = std::move(key);
+  c.value = std::move(value);
+  return c;
+}
+
+Command MakeRmw(uint64_t client, uint64_t seq, std::string key, std::string value) {
+  Command c;
+  c.client = client;
+  c.seq = seq;
+  c.op = Op::kRmw;
+  c.key = std::move(key);
+  c.value = std::move(value);
+  return c;
+}
+
+Command MakeNoOp() { return Command{}; }
+
+}  // namespace smr

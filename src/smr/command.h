@@ -1,0 +1,59 @@
+// The command model shared by every protocol in the library.
+//
+// A Command is an opaque-to-the-protocol operation on the replicated state machine,
+// plus the metadata protocols need without executing it: the keys it touches (for
+// conflict detection, footnote 2 of the paper) and whether it is a read.
+#ifndef SRC_SMR_COMMAND_H_
+#define SRC_SMR_COMMAND_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/codec/codec.h"
+
+namespace smr {
+
+enum class Op : uint8_t {
+  kNoOp = 0,  // conflicts with every command, executes as a no-op (recovery, §3.2.6)
+  kGet = 1,
+  kPut = 2,
+  kRmw = 3,   // read-modify-write (e.g. increment); both reads and writes its key
+  kScan = 4,  // multi-key read
+  kMPut = 5,  // multi-key write
+};
+
+const char* OpName(Op op);
+
+struct Command {
+  uint64_t client = 0;  // submitting client id (0 = internal)
+  uint64_t seq = 0;     // per-client sequence number; (client, seq) is unique
+  Op op = Op::kNoOp;
+  std::string key;                      // primary key (unused for kNoOp)
+  std::vector<std::string> more_keys;   // extra keys for kScan / kMPut
+  std::string value;                    // payload for writes; ignored for reads
+
+  bool is_noop() const { return op == Op::kNoOp; }
+  bool is_read() const { return op == Op::kGet || op == Op::kScan; }
+  bool is_write() const { return op == Op::kPut || op == Op::kRmw || op == Op::kMPut; }
+
+  // Total bytes of key + payload; used by benches to model message sizes.
+  size_t PayloadSize() const;
+
+  void Encode(codec::Writer& w) const;
+  static Command Decode(codec::Reader& r);
+
+  friend bool operator==(const Command& a, const Command& b);
+
+  std::string ToString() const;
+};
+
+// Convenience constructors.
+Command MakeGet(uint64_t client, uint64_t seq, std::string key);
+Command MakePut(uint64_t client, uint64_t seq, std::string key, std::string value);
+Command MakeRmw(uint64_t client, uint64_t seq, std::string key, std::string value);
+Command MakeNoOp();
+
+}  // namespace smr
+
+#endif  // SRC_SMR_COMMAND_H_

@@ -1,0 +1,35 @@
+#include "src/smr/conflict.h"
+
+#include <algorithm>
+
+namespace smr {
+
+bool KeyConflictModel::SharesKey(const Command& a, const Command& b) {
+  auto touches = [](const Command& c, const std::string& k) {
+    if (c.key == k) {
+      return true;
+    }
+    return std::find(c.more_keys.begin(), c.more_keys.end(), k) != c.more_keys.end();
+  };
+  if (touches(b, a.key)) {
+    return true;
+  }
+  for (const auto& k : a.more_keys) {
+    if (touches(b, k)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool KeyConflictModel::Conflicts(const Command& a, const Command& b) const {
+  if (a.is_noop() || b.is_noop()) {
+    return true;  // noOp conflicts with all commands (§3.2.6)
+  }
+  if (a.is_read() && b.is_read()) {
+    return false;  // reads commute
+  }
+  return SharesKey(a, b);
+}
+
+}  // namespace smr

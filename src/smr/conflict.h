@@ -1,0 +1,43 @@
+// Conflict (non-commutativity) detection between commands.
+//
+// Per footnote 2 of the paper, conflicts must be decidable without executing commands.
+// The default model is the key-based one used throughout the paper's evaluation:
+// commands conflict iff they share a key and at least one of them writes, and noOp
+// conflicts with everything. The model also reports whether the conflict relation
+// restricted around reads is transitive, which gates the NFR optimization (§4).
+#ifndef SRC_SMR_CONFLICT_H_
+#define SRC_SMR_CONFLICT_H_
+
+#include "src/smr/command.h"
+
+namespace smr {
+
+class ConflictModel {
+ public:
+  virtual ~ConflictModel() = default;
+
+  virtual bool Conflicts(const Command& a, const Command& b) const = 0;
+
+  // True if reads of this model have transitive conflicts (read* in §B.4), enabling NFR.
+  virtual bool ReadsTransitive() const = 0;
+};
+
+// Key-based model: conflict iff key sets intersect and not both commands are reads.
+class KeyConflictModel final : public ConflictModel {
+ public:
+  bool Conflicts(const Command& a, const Command& b) const override;
+  bool ReadsTransitive() const override { return true; }
+
+  static bool SharesKey(const Command& a, const Command& b);
+};
+
+// Degenerate model where every pair of commands conflicts (always safe; footnote 2).
+class AllConflictModel final : public ConflictModel {
+ public:
+  bool Conflicts(const Command& a, const Command& b) const override { return true; }
+  bool ReadsTransitive() const override { return false; }
+};
+
+}  // namespace smr
+
+#endif  // SRC_SMR_CONFLICT_H_

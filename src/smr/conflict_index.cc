@@ -1,0 +1,126 @@
+#include "src/smr/conflict_index.h"
+
+#include <algorithm>
+
+namespace smr {
+
+namespace {
+
+using Entry = std::pair<common::ProcessId, common::Dot>;
+
+void CollectAll(const std::vector<Entry>& entries, const common::Dot& self,
+                common::DepSet& out) {
+  for (const auto& [proc, dot] : entries) {
+    if (dot != self) {
+      out.Insert(dot);
+    }
+  }
+}
+
+// Replace the entry of `dot.proc` (compressed) or append (full).
+void AddEntry(std::vector<Entry>& entries, const common::Dot& dot, IndexMode mode) {
+  if (mode == IndexMode::kCompressed) {
+    for (auto& [proc, d] : entries) {
+      if (proc == dot.proc) {
+        // Keep the newest dot from this process: handlers may record a process's
+        // commands out of submission order under message reordering.
+        if (d < dot) {
+          d = dot;
+        }
+        return;
+      }
+    }
+  }
+  entries.emplace_back(dot.proc, dot);
+}
+
+}  // namespace
+
+void KeyConflictIndex::CollectKey(const std::string& key, bool cmd_is_read,
+                                  const common::Dot& self, common::DepSet& out) const {
+  auto it = keys_.find(key);
+  if (it == keys_.end()) {
+    return;
+  }
+  CollectAll(it->second.writes, self, out);
+  if (!cmd_is_read) {
+    // Writes additionally conflict with reads on the key; reads commute with reads.
+    CollectAll(it->second.reads, self, out);
+  }
+}
+
+common::DepSet KeyConflictIndex::Conflicts(const Command& cmd,
+                                           const common::Dot& self) const {
+  common::DepSet out;
+  if (cmd.is_noop()) {
+    // noOp conflicts with everything recorded.
+    for (const auto& [key, per_key] : keys_) {
+      CollectAll(per_key.writes, self, out);
+      CollectAll(per_key.reads, self, out);
+    }
+    CollectAll(noops_, self, out);
+    return out;
+  }
+  CollectKey(cmd.key, cmd.is_read(), self, out);
+  for (const auto& k : cmd.more_keys) {
+    CollectKey(k, cmd.is_read(), self, out);
+  }
+  CollectAll(noops_, self, out);
+  return out;
+}
+
+void KeyConflictIndex::RecordKey(const std::string& key, bool is_read,
+                                 const common::Dot& dot) {
+  PerKey& pk = keys_[key];
+  if (is_read) {
+    // Reads are never compressed per process: reads do not depend on one another, so
+    // dropping an older read would break the chain-cover property. In compressed mode
+    // the set stays bounded because each write clears it.
+    AddEntry(pk.reads, dot, IndexMode::kFull);
+  } else {
+    AddEntry(pk.writes, dot, mode_);
+    if (mode_ == IndexMode::kCompressed) {
+      // The new write depends on every read collected so far, so those reads are
+      // chain-covered through it; later commands reach them via this write.
+      pk.reads.clear();
+    }
+  }
+}
+
+void KeyConflictIndex::Record(const common::Dot& dot, const Command& cmd) {
+  if (!seen_.insert(dot).second) {
+    return;
+  }
+  if (cmd.is_noop()) {
+    AddEntry(noops_, dot, mode_);
+    return;
+  }
+  RecordKey(cmd.key, cmd.is_read(), dot);
+  for (const auto& k : cmd.more_keys) {
+    RecordKey(k, cmd.is_read(), dot);
+  }
+}
+
+common::DepSet LinearConflictIndex::Conflicts(const Command& cmd,
+                                              const common::Dot& self) const {
+  common::DepSet out;
+  for (const auto& [dot, recorded] : recorded_) {
+    if (dot != self && model_->Conflicts(cmd, recorded)) {
+      out.Insert(dot);
+    }
+  }
+  return out;
+}
+
+void LinearConflictIndex::Record(const common::Dot& dot, const Command& cmd) {
+  if (!seen_.insert(dot).second) {
+    return;
+  }
+  recorded_.emplace_back(dot, cmd);
+}
+
+std::unique_ptr<ConflictIndex> MakeKeyIndex(IndexMode mode) {
+  return std::make_unique<KeyConflictIndex>(mode);
+}
+
+}  // namespace smr

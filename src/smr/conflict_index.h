@@ -1,0 +1,99 @@
+// Conflict indexes: data structures answering the paper's conflicts(c) function
+// ("the set of non-start identifiers whose command conflicts with c", Algorithm 1).
+//
+// Two implementations:
+//  - KeyConflictIndex: indexes commands by key (the KeyConflictModel hard-wired for
+//    speed). Supports two modes:
+//      * kFull        — record every dot per key; conflicts() returns all of them.
+//                       Literal paper semantics; dependency sets grow with history.
+//      * kCompressed  — keep only the latest write per (key, process) and the latest
+//                       reads since the last write. Every new command's dependencies
+//                       chain-cover all earlier conflicting commands (the standard
+//                       EPaxos-lineage dependency compression), keeping sets bounded.
+//  - LinearConflictIndex: O(history) scan against an arbitrary ConflictModel; used by
+//    tests to cross-validate KeyConflictIndex and by exotic state machines.
+//
+// noOps conflict with everything, so they are tracked globally, and a noOp's own
+// dependency set is the union of everything recorded.
+#ifndef SRC_SMR_CONFLICT_INDEX_H_
+#define SRC_SMR_CONFLICT_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/dep_set.h"
+#include "src/common/types.h"
+#include "src/smr/conflict.h"
+
+namespace smr {
+
+class ConflictIndex {
+ public:
+  virtual ~ConflictIndex() = default;
+
+  // Dependencies of cmd over all recorded commands, excluding `self`.
+  virtual common::DepSet Conflicts(const Command& cmd, const common::Dot& self) const = 0;
+
+  // Records cmd under dot. Idempotent.
+  virtual void Record(const common::Dot& dot, const Command& cmd) = 0;
+
+  virtual bool Seen(const common::Dot& dot) const = 0;
+
+  virtual size_t RecordedCount() const = 0;
+};
+
+enum class IndexMode {
+  kFull,
+  kCompressed,
+};
+
+class KeyConflictIndex final : public ConflictIndex {
+ public:
+  explicit KeyConflictIndex(IndexMode mode) : mode_(mode) {}
+
+  common::DepSet Conflicts(const Command& cmd, const common::Dot& self) const override;
+  void Record(const common::Dot& dot, const Command& cmd) override;
+  bool Seen(const common::Dot& dot) const override { return seen_.count(dot) > 0; }
+  size_t RecordedCount() const override { return seen_.size(); }
+
+ private:
+  struct PerKey {
+    // kFull: every write/read dot on this key.
+    // kCompressed: latest write per process / latest reads since the last write.
+    std::vector<std::pair<common::ProcessId, common::Dot>> writes;
+    std::vector<std::pair<common::ProcessId, common::Dot>> reads;
+  };
+
+  void CollectKey(const std::string& key, bool cmd_is_read, const common::Dot& self,
+                  common::DepSet& out) const;
+  void RecordKey(const std::string& key, bool is_read, const common::Dot& dot);
+
+  IndexMode mode_;
+  std::unordered_map<std::string, PerKey> keys_;
+  std::vector<std::pair<common::ProcessId, common::Dot>> noops_;
+  std::unordered_set<common::Dot, common::DotHash> seen_;
+};
+
+class LinearConflictIndex final : public ConflictIndex {
+ public:
+  explicit LinearConflictIndex(const ConflictModel* model) : model_(model) {}
+
+  common::DepSet Conflicts(const Command& cmd, const common::Dot& self) const override;
+  void Record(const common::Dot& dot, const Command& cmd) override;
+  bool Seen(const common::Dot& dot) const override { return seen_.count(dot) > 0; }
+  size_t RecordedCount() const override { return recorded_.size(); }
+
+ private:
+  const ConflictModel* model_;
+  std::vector<std::pair<common::Dot, Command>> recorded_;
+  std::unordered_set<common::Dot, common::DotHash> seen_;
+};
+
+std::unique_ptr<ConflictIndex> MakeKeyIndex(IndexMode mode);
+
+}  // namespace smr
+
+#endif  // SRC_SMR_CONFLICT_INDEX_H_

@@ -1,0 +1,25 @@
+// The deterministic state machine interface (§2 of the paper).
+#ifndef SRC_SMR_STATE_MACHINE_H_
+#define SRC_SMR_STATE_MACHINE_H_
+
+#include <string>
+
+#include "src/smr/command.h"
+
+namespace smr {
+
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  // Applies cmd and returns its response value. Must be deterministic.
+  virtual std::string Apply(const Command& cmd) = 0;
+
+  // A digest of the current state; replicas that executed the same command sequence
+  // (modulo commutations) must produce equal digests. Used by the convergence checker.
+  virtual uint64_t StateDigest() const = 0;
+};
+
+}  // namespace smr
+
+#endif  // SRC_SMR_STATE_MACHINE_H_

@@ -1,0 +1,50 @@
+#include "src/wl/workload.h"
+
+#include <cstdio>
+
+namespace wl {
+
+namespace {
+
+std::string ZeroPadKey(uint64_t k) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%08llu", static_cast<unsigned long long>(k));
+  return buf;
+}
+
+}  // namespace
+
+MicroWorkload::MicroWorkload(double conflict_rate, size_t value_size)
+    : conflict_rate_(conflict_rate), value_(value_size, 'x') {}
+
+smr::Command MicroWorkload::Next(uint64_t client, uint64_t seq, common::Rng& rng) {
+  std::string key;
+  if (rng.Chance(conflict_rate_)) {
+    key = ZeroPadKey(0);
+  } else {
+    key = "c" + std::to_string(client);
+  }
+  return smr::MakePut(client, seq, std::move(key), value_);
+}
+
+FixedKeyWorkload::FixedKeyWorkload(bool shared, size_t value_size)
+    : shared_(shared), value_(value_size, 'x') {}
+
+smr::Command FixedKeyWorkload::Next(uint64_t client, uint64_t seq, common::Rng& rng) {
+  std::string key = shared_ ? ZeroPadKey(0) : "c" + std::to_string(client);
+  return smr::MakePut(client, seq, std::move(key), value_);
+}
+
+YcsbWorkload::YcsbWorkload(uint64_t records, double read_pct, size_t value_size,
+                           double theta)
+    : zipf_(records, theta), read_pct_(read_pct), value_(value_size, 'x') {}
+
+smr::Command YcsbWorkload::Next(uint64_t client, uint64_t seq, common::Rng& rng) {
+  std::string key = "user" + ZeroPadKey(zipf_.Sample(rng));
+  if (rng.Chance(read_pct_)) {
+    return smr::MakeGet(client, seq, std::move(key));
+  }
+  return smr::MakePut(client, seq, std::move(key), value_);
+}
+
+}  // namespace wl

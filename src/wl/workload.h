@@ -1,0 +1,69 @@
+// Workload generators: the paper's microbenchmark (§5.2) and YCSB-style key-value
+// workloads (§5.7).
+#ifndef SRC_WL_WORKLOAD_H_
+#define SRC_WL_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/smr/command.h"
+
+namespace wl {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  // Generates the next command for (client, seq). Implementations must be
+  // deterministic functions of the Rng stream.
+  virtual smr::Command Next(uint64_t client, uint64_t seq, common::Rng& rng) = 0;
+};
+
+// §5.2: each command carries a key of 8 bytes and a payload of `value_size` bytes.
+// With probability `conflict_rate` the key is 0 (shared); otherwise a per-client
+// unique key. All commands are writes (dummy commands conflicting on equal keys).
+class MicroWorkload final : public Workload {
+ public:
+  MicroWorkload(double conflict_rate, size_t value_size);
+
+  smr::Command Next(uint64_t client, uint64_t seq, common::Rng& rng) override;
+
+ private:
+  double conflict_rate_;
+  std::string value_;
+};
+
+// Figure 8 client types: always the shared key 0, or always a per-client key.
+class FixedKeyWorkload final : public Workload {
+ public:
+  // shared = true -> key 0; false -> key "c<client>".
+  FixedKeyWorkload(bool shared, size_t value_size);
+
+  smr::Command Next(uint64_t client, uint64_t seq, common::Rng& rng) override;
+
+ private:
+  bool shared_;
+  std::string value_;
+};
+
+// §5.7: YCSB-style. `records` keys selected with a Zipfian distribution (default YCSB
+// skew theta = 0.99); a fraction `read_pct` of operations are reads, the rest writes.
+class YcsbWorkload final : public Workload {
+ public:
+  YcsbWorkload(uint64_t records, double read_pct, size_t value_size,
+               double theta = 0.99);
+
+  smr::Command Next(uint64_t client, uint64_t seq, common::Rng& rng) override;
+
+  const common::Zipf& zipf() const { return zipf_; }
+
+ private:
+  common::Zipf zipf_;
+  double read_pct_;
+  std::string value_;
+};
+
+}  // namespace wl
+
+#endif  // SRC_WL_WORKLOAD_H_

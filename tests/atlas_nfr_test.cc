@@ -1,0 +1,151 @@
+// NFR (non-fault-tolerant reads, §4/§B.4) deep-dive tests: real-time read freshness,
+// majority quorums, and interaction with the fast path — for both Atlas and EPaxos.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/atlas.h"
+#include "src/epaxos/epaxos.h"
+#include "src/kvs/kvs.h"
+#include "src/sim/simulator.h"
+
+namespace {
+
+using common::Dot;
+using common::kMillisecond;
+using common::ProcessId;
+
+// A cluster of 5 replicas with KVS state machines where we can observe read results.
+struct NfrCluster {
+  explicit NfrCluster(bool nfr, bool epaxos = false) {
+    sim::Simulator::Options opts;
+    opts.seed = 51;
+    sim = std::make_unique<sim::Simulator>(
+        std::make_unique<sim::UniformLatency>(10 * kMillisecond, 0), opts);
+    stores.resize(5);
+    for (uint32_t i = 0; i < 5; i++) {
+      if (epaxos) {
+        epaxos::Config cfg;
+        cfg.n = 5;
+        cfg.nfr = nfr;
+        engines.push_back(std::make_unique<epaxos::EPaxosEngine>(cfg));
+      } else {
+        atlas::Config cfg;
+        cfg.n = 5;
+        cfg.f = 2;
+        cfg.nfr = nfr;
+        engines.push_back(std::make_unique<atlas::AtlasEngine>(cfg));
+      }
+      sim->AddEngine(engines.back().get());
+    }
+    sim->SetExecutedHandler([this](ProcessId p, const Dot& d, const smr::Command& c) {
+      std::string result = stores[p].Apply(c);
+      results.emplace_back(p, c, result);
+    });
+    sim->Start();
+  }
+
+  // Result of command (client, seq) as executed at process p ("" when absent).
+  std::string ResultAt(ProcessId p, uint64_t client, uint64_t seq) const {
+    for (const auto& [proc, cmd, result] : results) {
+      if (proc == p && cmd.client == client && cmd.seq == seq) {
+        return result;
+      }
+    }
+    return "<missing>";
+  }
+
+  std::unique_ptr<sim::Simulator> sim;
+  std::vector<std::unique_ptr<smr::Engine>> engines;
+  std::vector<kvs::KvStore> stores;
+  std::vector<std::tuple<ProcessId, smr::Command, std::string>> results;
+};
+
+// Real-time freshness: a write that completed before a read was submitted must be
+// visible to the read, even though the read commits non-fault-tolerantly. (The
+// majority read quorum intersects the write's fast quorum, §B.4.)
+TEST(NfrTest, CompletedWriteVisibleToSubsequentRead) {
+  for (bool epaxos : {false, true}) {
+    NfrCluster tc(/*nfr=*/true, epaxos);
+    tc.sim->Submit(0, smr::MakePut(1, 1, "x", "fresh"));
+    tc.sim->RunUntilIdle();  // write fully executed everywhere
+    tc.sim->Submit(4, smr::MakeGet(2, 1, "x"));
+    tc.sim->RunUntilIdle();
+    EXPECT_EQ(tc.ResultAt(4, 2, 1), "fresh") << (epaxos ? "epaxos" : "atlas");
+  }
+}
+
+TEST(NfrTest, ReadCommitsInOneRoundTripToMajority) {
+  NfrCluster tc(/*nfr=*/true);
+  tc.sim->Submit(0, smr::MakeGet(1, 1, "x"));
+  // Majority quorum of {0,1,2}: acks at 2 * 10ms; commit immediately after.
+  common::Time start = tc.sim->Now();
+  tc.sim->RunUntilIdle();
+  // The read executed at its coordinator within ~one round trip (20ms + delivery).
+  bool found = false;
+  for (const auto& [proc, cmd, result] : tc.results) {
+    if (proc == 0 && cmd.is_read()) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_LE(tc.sim->Now() - start, 45 * kMillisecond);  // commit bcast tail included
+}
+
+// A concurrent read never blocks a later write: writes exclude reads from their
+// dependencies under NFR, so a stalled read coordinator cannot wedge the system.
+TEST(NfrTest, StalledReadDoesNotBlockWrites) {
+  NfrCluster tc(/*nfr=*/true);
+  // Cut the read coordinator's links so its read stays uncommitted.
+  for (ProcessId p = 1; p < 5; p++) {
+    tc.sim->SetLinkDown(0, p, true);
+  }
+  tc.sim->Submit(0, smr::MakeGet(1, 1, "x"));
+  tc.sim->RunFor(50 * kMillisecond);
+  for (ProcessId p = 1; p < 5; p++) {
+    tc.sim->SetLinkDown(0, p, false);
+  }
+  // Writes proceed at other replicas despite the wedged read.
+  tc.sim->Submit(1, smr::MakePut(2, 1, "x", "v1"));
+  tc.sim->Submit(2, smr::MakePut(3, 1, "x", "v2"));
+  tc.sim->RunUntilIdle();
+  // Both writes executed at every live replica.
+  int writes_at_3 = 0;
+  for (const auto& [proc, cmd, result] : tc.results) {
+    if (proc == 3 && cmd.is_write()) {
+      writes_at_3++;
+    }
+  }
+  EXPECT_EQ(writes_at_3, 2);
+}
+
+// Without NFR, reads are fault-tolerant but carry full dependencies; the same
+// sequence still works and the read sees the write.
+TEST(NfrTest, VanillaReadsStillLinearizable) {
+  NfrCluster tc(/*nfr=*/false);
+  tc.sim->Submit(0, smr::MakePut(1, 1, "x", "v"));
+  tc.sim->RunUntilIdle();
+  tc.sim->Submit(3, smr::MakeGet(2, 1, "x"));
+  tc.sim->RunUntilIdle();
+  EXPECT_EQ(tc.ResultAt(3, 2, 1), "v");
+}
+
+// Reads racing a write: whatever the outcome, the read must return either the old or
+// the new value, and the write must execute everywhere.
+TEST(NfrTest, ReadRacingWriteReturnsOldOrNew) {
+  NfrCluster tc(/*nfr=*/true);
+  tc.sim->Submit(0, smr::MakePut(1, 1, "x", "old"));
+  tc.sim->RunUntilIdle();
+  tc.sim->Submit(1, smr::MakePut(2, 1, "x", "new"));
+  tc.sim->Submit(4, smr::MakeGet(3, 1, "x"));  // concurrent with the write
+  tc.sim->RunUntilIdle();
+  std::string read = tc.ResultAt(4, 3, 1);
+  EXPECT_TRUE(read == "old" || read == "new") << "read returned: " << read;
+  // All stores converge on "new".
+  for (ProcessId p = 0; p < 5; p++) {
+    ASSERT_NE(tc.stores[p].Lookup("x"), nullptr);
+    EXPECT_EQ(*tc.stores[p].Lookup("x"), "new");
+  }
+}
+
+}  // namespace

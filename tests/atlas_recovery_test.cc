@@ -1,0 +1,225 @@
+// Atlas recovery tests (Algorithm 2): coordinator failure at every interesting point,
+// Property 2 (fast-path proposals recoverable from floor(n/2) surviving fast-quorum
+// members), noOp replacement, duelling recoverers, and Invariant 1 under recovery.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/atlas.h"
+#include "src/sim/simulator.h"
+
+namespace atlas {
+namespace {
+
+using common::DepSet;
+using common::Dot;
+using common::kMillisecond;
+using common::kSecond;
+using common::ProcessId;
+
+struct RecCluster {
+  explicit RecCluster(uint32_t n, uint32_t f, uint64_t seed = 7) {
+    sim::Simulator::Options opts;
+    opts.seed = seed;
+    sim = std::make_unique<sim::Simulator>(
+        std::make_unique<sim::UniformLatency>(10 * kMillisecond, 0), opts);
+    for (uint32_t i = 0; i < n; i++) {
+      Config cfg;
+      cfg.n = n;
+      cfg.f = f;
+      cfg.recovery_scan_interval = 100 * kMillisecond;
+      cfg.recovery_retry_interval = 300 * kMillisecond;
+      cfg.commit_timeout = 500 * kMillisecond;
+      engines.push_back(std::make_unique<AtlasEngine>(cfg));
+      sim->AddEngine(engines.back().get());
+    }
+    sim->SetExecutedHandler([this](ProcessId p, const Dot& d, const smr::Command& c) {
+      executed.emplace_back(p, d, c);
+    });
+    sim->Start();
+  }
+
+  void SuspectEverywhere(ProcessId dead) {
+    for (size_t p = 0; p < engines.size(); p++) {
+      if (!sim->IsCrashed(static_cast<ProcessId>(p))) {
+        engines[p]->OnSuspect(dead);
+      }
+    }
+  }
+
+  size_t ExecCountAt(ProcessId p, bool include_noops = false) const {
+    size_t k = 0;
+    for (const auto& [proc, dot, cmd] : executed) {
+      if (proc == p && (include_noops || !cmd.is_noop())) {
+        k++;
+      }
+    }
+    return k;
+  }
+
+  std::unique_ptr<sim::Simulator> sim;
+  std::vector<std::unique_ptr<AtlasEngine>> engines;
+  std::vector<std::tuple<ProcessId, Dot, smr::Command>> executed;
+};
+
+// The coordinator crashes after its MCollect reached the fast quorum but before any
+// MCommit: survivors must recover the command itself (not a noOp).
+TEST(AtlasRecoveryTest, RecoversCommandWhenQuorumSawCollect) {
+  RecCluster tc(5, 2);
+  // Block coordinator 0's acks so it cannot commit, but let MCollect through.
+  // Easiest: let MCollects be delivered, then crash 0 before acks return.
+  tc.sim->Submit(0, smr::MakePut(1, 1, "k", "v"));
+  tc.sim->RunFor(11 * kMillisecond);  // MCollect delivered at quorum, acks in flight
+  tc.sim->Crash(0);
+  tc.SuspectEverywhere(0);
+  tc.sim->RunUntilIdle();
+  // All survivors executed the real command.
+  for (ProcessId p = 1; p < 5; p++) {
+    EXPECT_EQ(tc.ExecCountAt(p), 1u) << "process " << p;
+  }
+  // And agree it committed with the payload, not noOp.
+  for (const auto& [proc, dot, cmd] : tc.executed) {
+    EXPECT_FALSE(cmd.is_noop());
+    EXPECT_EQ(cmd.key, "k");
+  }
+}
+
+// The coordinator crashes before anyone saw the payload: survivors must agree on noOp
+// (line 53) so that dependent commands are not blocked forever.
+TEST(AtlasRecoveryTest, ReplacesUnseenCommandWithNoOp) {
+  RecCluster tc(5, 2);
+  // Cut all of 0's outgoing links, then submit at 0: nobody sees MCollect.
+  for (ProcessId p = 1; p < 5; p++) {
+    tc.sim->SetLinkDown(0, p, true);
+  }
+  tc.sim->Submit(0, smr::MakePut(1, 1, "k", "v"));
+  tc.sim->RunFor(5 * kMillisecond);
+  tc.sim->Crash(0);
+
+  // Survivors later learn the dot exists through a conflicting command's deps? They
+  // cannot (no message escaped). Simulate an observer knowing the dot (e.g. client
+  // retry surface): trigger recovery explicitly at process 1.
+  tc.engines[1]->Recover(Dot{0, 1});
+  tc.sim->RunUntilIdle();
+  // The dot must be committed as noOp at survivors (executed as no-effect).
+  for (ProcessId p = 1; p < 5; p++) {
+    EXPECT_EQ(tc.engines[p]->PhaseOf(Dot{0, 1}), AtlasEngine::Phase::kExecute);
+    EXPECT_EQ(tc.ExecCountAt(p), 0u);                      // no real command executed
+    EXPECT_GE(tc.engines[p]->stats().noops_committed, 1u);
+  }
+}
+
+// Property 2 end-to-end: coordinator takes the fast path and crashes together with
+// f-1 other fast-quorum members right after commit was sent only to itself. The
+// recovery quorum must reconstruct the exact fast-path dependencies.
+TEST(AtlasRecoveryTest, FastPathDecisionSurvivesFFailures) {
+  RecCluster tc(5, 2);
+  // First, commit a conflicting command from process 4 so dependencies are nonempty.
+  tc.sim->Submit(4, smr::MakePut(9, 1, "k", "v0"));
+  tc.sim->RunUntilIdle();
+  // Now 0 submits; let the full fast-path round trip complete, but block 0's outgoing
+  // MCommit to everyone: 0 commits locally, nobody else learns.
+  tc.sim->Submit(0, smr::MakePut(1, 1, "k", "v1"));
+  tc.sim->RunFor(19 * kMillisecond);  // acks received at 20ms; not yet
+  for (ProcessId p = 1; p < 5; p++) {
+    tc.sim->SetLinkDown(0, p, true);
+  }
+  tc.sim->RunFor(5 * kMillisecond);  // 0 commits locally at 20ms, MCommit blocked
+  EXPECT_EQ(tc.engines[0]->PhaseOf(Dot{0, 1}), AtlasEngine::Phase::kExecute);
+  DepSet committed_deps = tc.engines[0]->CommittedDeps(Dot{0, 1});
+  tc.sim->Crash(0);
+  tc.SuspectEverywhere(0);
+  tc.sim->RunUntilIdle();
+  // Survivors must commit <0,1> with exactly the same dependencies 0 decided
+  // (Invariant 1 across the crash).
+  for (ProcessId p = 1; p < 5; p++) {
+    EXPECT_EQ(tc.engines[p]->PhaseOf(Dot{0, 1}), AtlasEngine::Phase::kExecute);
+    EXPECT_EQ(tc.engines[p]->CommittedDeps(Dot{0, 1}), committed_deps)
+        << "process " << p;
+  }
+}
+
+// Several processes start recovery concurrently; ballots arbitrate and exactly one
+// decision is reached (Invariant 1).
+TEST(AtlasRecoveryTest, DuellingRecoverersAgree) {
+  RecCluster tc(5, 2);
+  tc.sim->Submit(0, smr::MakePut(1, 1, "k", "v"));
+  tc.sim->RunFor(11 * kMillisecond);
+  tc.sim->Crash(0);
+  // Everyone recovers at once (no staggering).
+  for (ProcessId p = 1; p < 5; p++) {
+    tc.engines[p]->Recover(Dot{0, 1});
+  }
+  tc.sim->RunUntilIdle();
+  DepSet ref = tc.engines[1]->CommittedDeps(Dot{0, 1});
+  for (ProcessId p = 1; p < 5; p++) {
+    EXPECT_EQ(tc.engines[p]->PhaseOf(Dot{0, 1}), AtlasEngine::Phase::kExecute);
+    EXPECT_EQ(tc.engines[p]->CommittedDeps(Dot{0, 1}), ref);
+  }
+}
+
+// A recovery racing the (alive but slow) initial coordinator: whatever is decided,
+// there is exactly one decision (Invariant 1). We recover while the coordinator is
+// merely partitioned, then heal the partition.
+TEST(AtlasRecoveryTest, RecoveryRacesSlowCoordinator) {
+  RecCluster tc(5, 2);
+  tc.sim->Submit(0, smr::MakePut(1, 1, "k", "v"));
+  tc.sim->RunFor(11 * kMillisecond);  // MCollect out; acks on the way back
+  // Partition 0 (acks will be dropped at delivery; 0 cannot commit).
+  for (ProcessId p = 1; p < 5; p++) {
+    tc.sim->SetLinkDown(0, p, true);
+    tc.sim->SetLinkDown(p, 0, true);
+  }
+  tc.engines[2]->Recover(Dot{0, 1});
+  tc.sim->RunFor(2 * kSecond);
+  // Heal.
+  for (ProcessId p = 1; p < 5; p++) {
+    tc.sim->SetLinkDown(0, p, false);
+    tc.sim->SetLinkDown(p, 0, false);
+  }
+  tc.sim->RunUntilIdle();
+  // All five replicas executed the command exactly once with equal deps.
+  DepSet ref = tc.engines[2]->CommittedDeps(Dot{0, 1});
+  for (ProcessId p = 0; p < 5; p++) {
+    EXPECT_EQ(tc.engines[p]->PhaseOf(Dot{0, 1}), AtlasEngine::Phase::kExecute);
+    EXPECT_EQ(tc.engines[p]->CommittedDeps(Dot{0, 1}), ref) << "process " << p;
+    EXPECT_EQ(tc.ExecCountAt(p), 1u);
+  }
+}
+
+// After recovery, dependent commands from other clients proceed (no permanent block).
+TEST(AtlasRecoveryTest, DependentCommandsUnblockAfterRecovery) {
+  RecCluster tc(5, 2);
+  // 0 submits and reaches only its fast quorum, then dies.
+  tc.sim->Submit(0, smr::MakePut(1, 1, "hot", "v"));
+  tc.sim->RunFor(11 * kMillisecond);
+  tc.sim->Crash(0);
+  // A survivor submits a conflicting command: its deps include the dead dot, so it
+  // blocks in execution until recovery commits <0,1>.
+  tc.sim->Submit(1, smr::MakePut(2, 1, "hot", "v"));
+  tc.sim->RunFor(200 * kMillisecond);
+  EXPECT_EQ(tc.ExecCountAt(1), 0u);  // blocked
+  tc.SuspectEverywhere(0);
+  tc.sim->RunUntilIdle();
+  for (ProcessId p = 1; p < 5; p++) {
+    EXPECT_GE(tc.ExecCountAt(p), 1u) << "process " << p << " still blocked";
+  }
+}
+
+// Automatic recovery through OnSuspect + periodic scan (no explicit Recover calls).
+TEST(AtlasRecoveryTest, SuspectScanRecoversAllPendingDots) {
+  RecCluster tc(5, 1);
+  for (uint64_t i = 1; i <= 5; i++) {
+    tc.sim->Submit(0, smr::MakePut(1, i, "key" + std::to_string(i), "v"));
+  }
+  tc.sim->RunFor(11 * kMillisecond);  // MCollects delivered, no commits yet
+  tc.sim->Crash(0);
+  tc.SuspectEverywhere(0);
+  tc.sim->RunUntilIdle();
+  for (ProcessId p = 1; p < 5; p++) {
+    EXPECT_EQ(tc.ExecCountAt(p), 5u) << "process " << p;
+  }
+}
+
+}  // namespace
+}  // namespace atlas

@@ -1,0 +1,186 @@
+// The checker must accept valid histories and reject each class of violation.
+#include "src/chk/checker.h"
+
+#include <gtest/gtest.h>
+
+namespace chk {
+namespace {
+
+using common::ProcessId;
+
+smr::Command W(uint64_t client, uint64_t seq, const std::string& key) {
+  return smr::MakePut(client, seq, key, "v");
+}
+smr::Command R(uint64_t client, uint64_t seq, const std::string& key) {
+  return smr::MakeGet(client, seq, key);
+}
+
+TEST(CheckerTest, AcceptsConsistentHistory) {
+  HistoryChecker chk(3);
+  auto w1 = W(1, 1, "a");
+  auto w2 = W(2, 1, "a");
+  chk.OnSubmit(w1, 0);
+  chk.OnSubmit(w2, 10);
+  for (ProcessId p = 0; p < 3; p++) {
+    chk.OnExecute(p, w1, 100 + p);
+    chk.OnExecute(p, w2, 200 + p);
+  }
+  EXPECT_TRUE(chk.Validate().ok);
+}
+
+TEST(CheckerTest, RejectsWriteOrderDivergence) {
+  HistoryChecker chk(2);
+  auto w1 = W(1, 1, "a");
+  auto w2 = W(2, 1, "a");
+  chk.OnSubmit(w1, 0);
+  chk.OnSubmit(w2, 0);
+  chk.OnExecute(0, w1, 100);
+  chk.OnExecute(0, w2, 101);
+  chk.OnExecute(1, w2, 100);
+  chk.OnExecute(1, w1, 101);
+  EXPECT_FALSE(chk.Validate().ok);
+}
+
+TEST(CheckerTest, AcceptsReadReorderingBetweenWrites) {
+  // Two reads between the same writes may execute in either relative order.
+  HistoryChecker chk(2);
+  auto w = W(1, 1, "a");
+  auto r1 = R(2, 1, "a");
+  auto r2 = R(3, 1, "a");
+  for (const auto& c : {w, r1, r2}) {
+    chk.OnSubmit(c, 0);
+  }
+  chk.OnExecute(0, w, 10);
+  chk.OnExecute(0, r1, 11);
+  chk.OnExecute(0, r2, 12);
+  chk.OnExecute(1, w, 10);
+  chk.OnExecute(1, r2, 11);
+  chk.OnExecute(1, r1, 12);
+  EXPECT_TRUE(chk.Validate().ok);
+}
+
+TEST(CheckerTest, RejectsReadWriteReordering) {
+  HistoryChecker chk(2);
+  auto w1 = W(1, 1, "a");
+  auto w2 = W(2, 1, "a");
+  auto r = R(3, 1, "a");
+  for (const auto& c : {w1, w2, r}) {
+    chk.OnSubmit(c, 0);
+  }
+  // p0: w1, r, w2 ; p1: w1, w2, r — r observes different states.
+  chk.OnExecute(0, w1, 10);
+  chk.OnExecute(0, r, 11);
+  chk.OnExecute(0, w2, 12);
+  chk.OnExecute(1, w1, 10);
+  chk.OnExecute(1, w2, 11);
+  chk.OnExecute(1, r, 12);
+  EXPECT_FALSE(chk.Validate().ok);
+}
+
+TEST(CheckerTest, RejectsUnsubmittedExecution) {
+  HistoryChecker chk(1);
+  chk.OnExecute(0, W(1, 1, "a"), 10);
+  EXPECT_FALSE(chk.Validate().ok);
+}
+
+TEST(CheckerTest, RejectsDuplicateExecution) {
+  HistoryChecker chk(1);
+  auto w = W(1, 1, "a");
+  chk.OnSubmit(w, 0);
+  chk.OnExecute(0, w, 10);
+  chk.OnExecute(0, w, 11);
+  EXPECT_FALSE(chk.Validate().ok);
+}
+
+TEST(CheckerTest, RejectsRealTimeViolation) {
+  HistoryChecker chk(2);
+  auto w1 = W(1, 1, "a");
+  auto w2 = W(2, 1, "a");
+  chk.OnSubmit(w1, 0);
+  chk.OnExecute(0, w1, 50);   // w1 executed at t=50
+  chk.OnSubmit(w2, 100);      // w2 submitted after w1 executed
+  chk.OnExecute(0, w2, 150);
+  // Process 1 executes them in the wrong order.
+  chk.OnExecute(1, w2, 140);
+  chk.OnExecute(1, w1, 160);
+  EXPECT_FALSE(chk.Validate().ok);
+}
+
+TEST(CheckerTest, RejectsDigestDivergence) {
+  HistoryChecker chk(2);
+  chk.OnStateDigest(0, 111, 10);
+  chk.OnStateDigest(1, 222, 10);
+  EXPECT_FALSE(chk.Validate().ok);
+}
+
+TEST(CheckerTest, AcceptsDigestsAtDifferentProgress) {
+  HistoryChecker chk(2);
+  chk.OnStateDigest(0, 111, 10);
+  chk.OnStateDigest(1, 222, 9);  // fewer executions: digests may differ
+  EXPECT_TRUE(chk.Validate().ok);
+}
+
+TEST(CheckerTest, NoOpsIgnored) {
+  HistoryChecker chk(1);
+  chk.OnExecute(0, smr::MakeNoOp(), 10);
+  EXPECT_TRUE(chk.Validate().ok);
+}
+
+TEST(CheckerTest, NfrModeIgnoresRemoteReadExecutions) {
+  // Under NFR, a read's execution at a replica other than its home carries no
+  // ordering obligation; the same history must fail in strict mode.
+  for (bool nfr : {true, false}) {
+    HistoryChecker chk(2);
+    chk.SetNfrMode(nfr);
+    auto w1 = W(1, 1, "a");
+    auto w2 = W(2, 1, "a");
+    auto r = R(3, 1, "a");
+    chk.OnSubmit(w1, 0, /*home=*/0);
+    chk.OnSubmit(w2, 0, /*home=*/0);
+    chk.OnSubmit(r, 0, /*home=*/0);
+    // Home replica 0: w1, r, w2 — the externally visible order.
+    chk.OnExecute(0, w1, 10);
+    chk.OnExecute(0, r, 11);
+    chk.OnExecute(0, w2, 12);
+    // Replica 1 slots the read elsewhere (legal only under NFR).
+    chk.OnExecute(1, w1, 10);
+    chk.OnExecute(1, w2, 11);
+    chk.OnExecute(1, r, 12);
+    EXPECT_EQ(chk.Validate().ok, nfr);
+  }
+}
+
+TEST(CheckerTest, NfrModeStillChecksHomeReads) {
+  // Even under NFR, the read's home-site execution must respect write order.
+  HistoryChecker chk(2);
+  chk.SetNfrMode(true);
+  auto w1 = W(1, 1, "a");
+  auto w2 = W(2, 1, "a");
+  auto r = R(3, 1, "a");
+  chk.OnSubmit(w1, 0, 0);
+  chk.OnSubmit(w2, 0, 0);
+  chk.OnSubmit(r, 0, /*home=*/1);
+  chk.OnExecute(0, w1, 10);
+  chk.OnExecute(0, w2, 11);
+  // Home replica 1 diverges on the WRITES (not allowed even in NFR mode).
+  chk.OnExecute(1, w2, 10);
+  chk.OnExecute(1, r, 11);
+  chk.OnExecute(1, w1, 12);
+  EXPECT_FALSE(chk.Validate().ok);
+}
+
+TEST(CheckerTest, PrefixExecutionAccepted) {
+  // A crashed replica executed only a prefix: fine as long as orders agree.
+  HistoryChecker chk(2);
+  auto w1 = W(1, 1, "a");
+  auto w2 = W(2, 1, "a");
+  chk.OnSubmit(w1, 0);
+  chk.OnSubmit(w2, 0);
+  chk.OnExecute(0, w1, 10);
+  chk.OnExecute(0, w2, 11);
+  chk.OnExecute(1, w1, 10);  // replica 1 crashed before w2
+  EXPECT_TRUE(chk.Validate().ok);
+}
+
+}  // namespace
+}  // namespace chk

@@ -1,0 +1,198 @@
+// Tests for rng, zipf, histogram, timeseries, quorum, ballot arithmetic.
+#include <gtest/gtest.h>
+
+#include "src/common/histogram.h"
+#include "src/common/quorum.h"
+#include "src/common/rng.h"
+#include "src/common/timeseries.h"
+#include "src/common/types.h"
+
+namespace common {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; i++) {
+    if (a2.Next() != c.Next()) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, BelowBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(rng.Below(7), 7u);
+  }
+  for (int i = 0; i < 1000; i++) {
+    int64_t v = rng.Range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(2);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(3);
+  double sum = 0;
+  const int kN = 200000;
+  for (int i = 0; i < kN; i++) {
+    sum += rng.Exponential(10.0);
+  }
+  EXPECT_NEAR(sum / kN, 10.0, 0.2);
+}
+
+TEST(ZipfTest, SkewAndBounds) {
+  Rng rng(4);
+  Zipf zipf(1000, 0.99);
+  std::vector<uint64_t> counts(1000, 0);
+  const int kN = 200000;
+  for (int i = 0; i < kN; i++) {
+    uint64_t v = zipf.Sample(rng);
+    ASSERT_LT(v, 1000u);
+    counts[v]++;
+  }
+  // Rank 0 is the most popular and far above uniform.
+  EXPECT_GT(counts[0], counts[500] * 5);
+  EXPECT_GT(counts[0], static_cast<uint64_t>(kN) / 1000 * 10);
+  // Monotone-ish decrease between widely separated ranks.
+  EXPECT_GT(counts[1], counts[100]);
+}
+
+TEST(ZipfTest, Theta0IsRoughlyUniform) {
+  Rng rng(5);
+  Zipf zipf(100, 0.01);
+  std::vector<uint64_t> counts(100, 0);
+  for (int i = 0; i < 100000; i++) {
+    counts[zipf.Sample(rng)]++;
+  }
+  EXPECT_LT(counts[0], counts[50] * 3);
+}
+
+TEST(HistogramTest, PercentilesAndMean) {
+  Histogram h;
+  for (int i = 1; i <= 1000; i++) {
+    h.Record(i * 1000);  // 1ms..1000ms
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.Mean(), 500500.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 500000.0, 20000.0);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(99)), 990000.0, 40000.0);
+  EXPECT_EQ(h.Percentile(0), h.min());
+  EXPECT_EQ(h.Percentile(100), h.max());
+}
+
+TEST(HistogramTest, MergeEqualsCombinedRecording) {
+  Histogram a, b, c;
+  Rng rng(6);
+  for (int i = 0; i < 5000; i++) {
+    int64_t v = static_cast<int64_t>(rng.Below(1000000));
+    if (i % 2 == 0) {
+      a.Record(v);
+    } else {
+      b.Record(v);
+    }
+    c.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), c.count());
+  EXPECT_EQ(a.min(), c.min());
+  EXPECT_EQ(a.max(), c.max());
+  EXPECT_NEAR(a.Mean(), c.Mean(), 1e-6);
+  EXPECT_EQ(a.Percentile(50), c.Percentile(50));
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(TimeSeriesTest, BucketsAndRates) {
+  TimeSeries ts(kSecond);
+  ts.Record(100 * kMillisecond);
+  ts.Record(900 * kMillisecond);
+  ts.Record(1 * kSecond + 1);
+  EXPECT_EQ(ts.At(0), 2u);
+  EXPECT_EQ(ts.At(1 * kSecond), 1u);
+  EXPECT_EQ(ts.At(5 * kSecond), 0u);
+  EXPECT_DOUBLE_EQ(ts.RatePerSecond(0), 2.0);
+}
+
+TEST(QuorumTest, Basics) {
+  Quorum q;
+  EXPECT_TRUE(q.empty());
+  q.Add(0);
+  q.Add(5);
+  q.Add(31);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_TRUE(q.Contains(5));
+  EXPECT_FALSE(q.Contains(1));
+  q.Remove(5);
+  EXPECT_FALSE(q.Contains(5));
+  auto members = Quorum::Of({1, 2, 4}).Members();
+  EXPECT_EQ(members, (std::vector<ProcessId>{1, 2, 4}));
+}
+
+TEST(QuorumTest, Intersect) {
+  Quorum a = Quorum::Of({0, 1, 2, 3});
+  Quorum b = Quorum::Of({2, 3, 4});
+  EXPECT_EQ(a.Intersect(b), Quorum::Of({2, 3}));
+}
+
+TEST(BallotTest, InitialAndRecovery) {
+  const uint32_t n = 5;
+  for (ProcessId i = 0; i < n; i++) {
+    Ballot init = InitialBallot(i);
+    EXPECT_EQ(BallotOwner(init, n), i);
+    EXPECT_GE(init, 1u);
+    EXPECT_LE(init, n);
+  }
+  // Recovery ballots strictly increase, stay owned by the recoverer, and exceed n.
+  for (ProcessId i = 0; i < n; i++) {
+    Ballot cur = InitialBallot(3);
+    for (int round = 0; round < 5; round++) {
+      Ballot next = NextRecoveryBallot(i, cur, n);
+      EXPECT_GT(next, cur);
+      EXPECT_GT(next, static_cast<Ballot>(n));
+      EXPECT_EQ(BallotOwner(next, n), i);
+      cur = next;
+    }
+  }
+}
+
+TEST(BallotTest, DistinctOwnersNeverCollide) {
+  const uint32_t n = 7;
+  Ballot base = InitialBallot(2);
+  for (ProcessId i = 0; i < n; i++) {
+    for (ProcessId j = i + 1; j < n; j++) {
+      EXPECT_NE(NextRecoveryBallot(i, base, n), NextRecoveryBallot(j, base, n));
+    }
+  }
+}
+
+TEST(DotTest, OrderingAndHash) {
+  Dot a{0, 1}, b{1, 1}, c{0, 2};
+  EXPECT_LT(a, b);  // same seq, proc breaks tie
+  EXPECT_LT(b, c);  // seq dominates
+  DotHash h;
+  EXPECT_NE(h(a), h(b));
+  EXPECT_EQ(h(a), h(Dot{0, 1}));
+}
+
+}  // namespace
+}  // namespace common

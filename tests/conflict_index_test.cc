@@ -1,0 +1,190 @@
+#include "src/smr/conflict_index.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace smr {
+namespace {
+
+using common::DepSet;
+using common::Dot;
+
+TEST(ConflictModelTest, KeyModel) {
+  KeyConflictModel m;
+  Command w1 = MakePut(1, 1, "a", "v");
+  Command w2 = MakePut(1, 2, "a", "v");
+  Command w3 = MakePut(1, 3, "b", "v");
+  Command r1 = MakeGet(1, 4, "a");
+  Command r2 = MakeGet(1, 5, "a");
+  Command noop = MakeNoOp();
+  EXPECT_TRUE(m.Conflicts(w1, w2));   // same key writes
+  EXPECT_FALSE(m.Conflicts(w1, w3));  // different keys
+  EXPECT_TRUE(m.Conflicts(w1, r1));   // read-write same key
+  EXPECT_FALSE(m.Conflicts(r1, r2));  // reads commute
+  EXPECT_TRUE(m.Conflicts(noop, r1));
+  EXPECT_TRUE(m.Conflicts(w1, noop));
+}
+
+TEST(ConflictModelTest, MultiKey) {
+  KeyConflictModel m;
+  Command scan = MakeGet(1, 1, "a");
+  scan.op = Op::kScan;
+  scan.more_keys = {"b", "c"};
+  Command w = MakePut(1, 2, "c", "v");
+  EXPECT_TRUE(m.Conflicts(scan, w));
+  Command w2 = MakePut(1, 3, "d", "v");
+  EXPECT_FALSE(m.Conflicts(scan, w2));
+}
+
+TEST(KeyConflictIndexTest, FullModeReturnsAllConflicting) {
+  KeyConflictIndex idx(IndexMode::kFull);
+  Dot d1{0, 1}, d2{1, 1}, d3{2, 1};
+  idx.Record(d1, MakePut(1, 1, "a", "v"));
+  idx.Record(d2, MakePut(2, 1, "a", "v"));
+  idx.Record(d3, MakePut(3, 1, "b", "v"));
+  DepSet deps = idx.Conflicts(MakePut(4, 1, "a", "v"), Dot{3, 1});
+  EXPECT_EQ(deps.size(), 2u);
+  EXPECT_TRUE(deps.Contains(d1));
+  EXPECT_TRUE(deps.Contains(d2));
+}
+
+TEST(KeyConflictIndexTest, ExcludesSelf) {
+  KeyConflictIndex idx(IndexMode::kFull);
+  Dot d1{0, 1};
+  idx.Record(d1, MakePut(1, 1, "a", "v"));
+  DepSet deps = idx.Conflicts(MakePut(1, 1, "a", "v"), d1);
+  EXPECT_TRUE(deps.empty());
+}
+
+TEST(KeyConflictIndexTest, RecordIdempotent) {
+  KeyConflictIndex idx(IndexMode::kFull);
+  Dot d1{0, 1};
+  idx.Record(d1, MakePut(1, 1, "a", "v"));
+  idx.Record(d1, MakePut(1, 1, "a", "v"));
+  EXPECT_EQ(idx.RecordedCount(), 1u);
+  DepSet deps = idx.Conflicts(MakePut(2, 1, "a", "v"), Dot{9, 9});
+  EXPECT_EQ(deps.size(), 1u);
+}
+
+TEST(KeyConflictIndexTest, CompressedKeepsLatestPerProcess) {
+  KeyConflictIndex idx(IndexMode::kCompressed);
+  idx.Record(Dot{0, 1}, MakePut(1, 1, "a", "v"));
+  idx.Record(Dot{0, 2}, MakePut(1, 2, "a", "v"));  // replaces {0,1}
+  idx.Record(Dot{1, 1}, MakePut(2, 1, "a", "v"));
+  DepSet deps = idx.Conflicts(MakePut(3, 1, "a", "v"), Dot{9, 9});
+  EXPECT_EQ(deps.size(), 2u);
+  EXPECT_TRUE(deps.Contains(Dot{0, 2}));
+  EXPECT_TRUE(deps.Contains(Dot{1, 1}));
+  EXPECT_FALSE(deps.Contains(Dot{0, 1}));
+}
+
+TEST(KeyConflictIndexTest, ReadsConflictWithWritesOnly) {
+  KeyConflictIndex idx(IndexMode::kFull);
+  Dot w{0, 1}, r{1, 1};
+  idx.Record(w, MakePut(1, 1, "a", "v"));
+  idx.Record(r, MakeGet(2, 1, "a"));
+  // A read depends only on the write.
+  DepSet rd = idx.Conflicts(MakeGet(3, 1, "a"), Dot{9, 9});
+  EXPECT_EQ(rd.size(), 1u);
+  EXPECT_TRUE(rd.Contains(w));
+  // A write depends on both.
+  DepSet wd = idx.Conflicts(MakePut(3, 1, "a", "v"), Dot{9, 9});
+  EXPECT_EQ(wd.size(), 2u);
+}
+
+TEST(KeyConflictIndexTest, NoOpConflictsWithEverything) {
+  KeyConflictIndex idx(IndexMode::kFull);
+  idx.Record(Dot{0, 1}, MakePut(1, 1, "a", "v"));
+  idx.Record(Dot{1, 1}, MakeGet(2, 1, "b"));
+  idx.Record(Dot{2, 1}, MakeNoOp());
+  DepSet noop_deps = idx.Conflicts(MakeNoOp(), Dot{9, 9});
+  EXPECT_EQ(noop_deps.size(), 3u);
+  // And everything depends on the recorded noOp.
+  DepSet w_deps = idx.Conflicts(MakePut(3, 1, "zzz", "v"), Dot{9, 9});
+  EXPECT_TRUE(w_deps.Contains(Dot{2, 1}));
+}
+
+// Cross-validation: full-mode key index must agree exactly with the linear scan.
+TEST(KeyConflictIndexTest, FullModeMatchesLinearScan) {
+  common::Rng rng(11);
+  KeyConflictModel model;
+  for (int trial = 0; trial < 50; trial++) {
+    KeyConflictIndex key_idx(IndexMode::kFull);
+    LinearConflictIndex lin_idx(&model);
+    for (int i = 0; i < 60; i++) {
+      Dot dot{static_cast<common::ProcessId>(rng.Below(3)), 1 + rng.Below(1000)};
+      std::string key(1, static_cast<char>('a' + rng.Below(4)));
+      Command cmd;
+      uint64_t kind = rng.Below(10);
+      if (kind == 0) {
+        cmd = MakeNoOp();
+        cmd.client = 1;
+        cmd.seq = static_cast<uint64_t>(i) + 1;
+      } else if (kind < 4) {
+        cmd = MakeGet(1, static_cast<uint64_t>(i) + 1, key);
+      } else {
+        cmd = MakePut(1, static_cast<uint64_t>(i) + 1, key, "v");
+      }
+      Dot self{9, 9};
+      EXPECT_EQ(key_idx.Conflicts(cmd, self), lin_idx.Conflicts(cmd, self))
+          << "trial " << trial << " step " << i;
+      key_idx.Record(dot, cmd);
+      lin_idx.Record(dot, cmd);
+    }
+  }
+}
+
+// The compressed index must chain-cover: every conflicting prior command is reachable
+// from the new command's deps by following deps transitively.
+TEST(KeyConflictIndexTest, CompressedChainCoversHistory) {
+  common::Rng rng(13);
+  for (int trial = 0; trial < 30; trial++) {
+    KeyConflictIndex idx(IndexMode::kCompressed);
+    KeyConflictModel model;
+    std::vector<std::pair<Dot, Command>> history;
+    std::unordered_map<Dot, DepSet, common::DotHash> dep_of;
+    for (int i = 0; i < 50; i++) {
+      Dot dot{static_cast<common::ProcessId>(rng.Below(3)),
+              static_cast<uint64_t>(trial) * 1000 + static_cast<uint64_t>(i) + 1};
+      std::string key(1, static_cast<char>('a' + rng.Below(2)));
+      Command cmd = rng.Chance(0.3) ? MakeGet(1, dot.seq, key)
+                                    : MakePut(1, dot.seq, key, "v");
+      DepSet deps = idx.Conflicts(cmd, dot);
+      idx.Record(dot, cmd);
+      dep_of[dot] = deps;
+      // Check: every conflicting command in history is transitively reachable.
+      for (const auto& [prev_dot, prev_cmd] : history) {
+        if (!model.Conflicts(cmd, prev_cmd)) {
+          continue;
+        }
+        // BFS through deps.
+        std::vector<Dot> stack(deps.begin(), deps.end());
+        std::unordered_map<Dot, bool, common::DotHash> seen;
+        bool found = false;
+        while (!stack.empty()) {
+          Dot d = stack.back();
+          stack.pop_back();
+          if (seen[d]) {
+            continue;
+          }
+          seen[d] = true;
+          if (d == prev_dot) {
+            found = true;
+            break;
+          }
+          auto it = dep_of.find(d);
+          if (it != dep_of.end()) {
+            stack.insert(stack.end(), it->second.begin(), it->second.end());
+          }
+        }
+        EXPECT_TRUE(found) << "command " << cmd.ToString()
+                           << " does not chain-cover " << prev_cmd.ToString();
+      }
+      history.emplace_back(dot, cmd);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smr

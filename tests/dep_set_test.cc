@@ -1,0 +1,198 @@
+#include "src/common/dep_set.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace common {
+namespace {
+
+Dot D(ProcessId p, uint64_t s) { return Dot{p, s}; }
+
+TEST(DepSetTest, InsertContainsSorted) {
+  DepSet s;
+  EXPECT_TRUE(s.empty());
+  s.Insert(D(2, 5));
+  s.Insert(D(1, 7));
+  s.Insert(D(2, 5));  // duplicate
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.Contains(D(2, 5)));
+  EXPECT_TRUE(s.Contains(D(1, 7)));
+  EXPECT_FALSE(s.Contains(D(1, 5)));
+  // Sorted by (seq, proc).
+  EXPECT_EQ(s.dots()[0], D(2, 5));
+  EXPECT_EQ(s.dots()[1], D(1, 7));
+}
+
+TEST(DepSetTest, UnionWith) {
+  DepSet a{D(0, 1), D(1, 2)};
+  DepSet b{D(1, 2), D(2, 3)};
+  a.UnionWith(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_TRUE(a.Contains(D(0, 1)));
+  EXPECT_TRUE(a.Contains(D(1, 2)));
+  EXPECT_TRUE(a.Contains(D(2, 3)));
+}
+
+TEST(DepSetTest, Remove) {
+  DepSet a{D(0, 1), D(1, 2)};
+  a.Remove(D(0, 1));
+  EXPECT_FALSE(a.Contains(D(0, 1)));
+  a.Remove(D(9, 9));  // absent: no-op
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(DepSetTest, UnionOfReplies) {
+  std::vector<DepSet> replies = {{D(0, 1)}, {D(0, 1), D(1, 1)}, {}};
+  DepSet u = Union(replies);
+  EXPECT_EQ(u.size(), 2u);
+}
+
+TEST(DepSetTest, ThresholdUnionCountsOccurrences) {
+  std::vector<DepSet> replies = {{D(0, 1), D(1, 1)}, {D(0, 1)}, {D(0, 1), D(2, 1)}};
+  EXPECT_EQ(ThresholdUnion(replies, 1), Union(replies));
+  DepSet t2 = ThresholdUnion(replies, 2);
+  EXPECT_EQ(t2.size(), 1u);
+  EXPECT_TRUE(t2.Contains(D(0, 1)));
+  EXPECT_TRUE(ThresholdUnion(replies, 3).Contains(D(0, 1)));
+  EXPECT_EQ(ThresholdUnion(replies, 4).size(), 0u);
+}
+
+// The four examples of Figure 2 in the paper (n = 5).
+TEST(DepSetTest, Figure2aFastPathTakenWithNonMatchingReplies) {
+  // deps reported by processes 1..4: {a}, {a,b,c}, {a,b,d}, {a,c,d} with f = 2.
+  Dot a = D(0, 1), b = D(1, 1), c = D(2, 1), d = D(3, 1);
+  std::vector<DepSet> replies = {{a}, {a, b, c}, {a, b, d}, {a, c, d}};
+  EXPECT_TRUE(FastPathCondition(replies, 2));
+  EXPECT_EQ(ThresholdUnion(replies, 2), Union(replies));
+}
+
+TEST(DepSetTest, Figure2bFastPathNotTaken) {
+  // {}, {}, {b} with f = 2: b reported once -> slow path.
+  Dot b = D(1, 1);
+  std::vector<DepSet> replies = {{}, {}, {b}, {}};
+  EXPECT_FALSE(FastPathCondition(replies, 2));
+}
+
+TEST(DepSetTest, Figure2cAtlasF1AlwaysFast) {
+  Dot a = D(0, 1), b = D(1, 1), c = D(2, 1);
+  std::vector<DepSet> replies = {{a}, {a, b}, {a, c}};
+  EXPECT_TRUE(FastPathCondition(replies, 1));  // f=1: always
+}
+
+TEST(DepSetTest, Figure2dMatchingReplies) {
+  Dot a = D(0, 1);
+  std::vector<DepSet> replies = {{a}, {a}, {a}};
+  EXPECT_TRUE(FastPathCondition(replies, 2));
+  EXPECT_TRUE(FastPathCondition(replies, 3));
+}
+
+// Property 1 of the paper: dependencies computed as unions over majorities intersect.
+TEST(DepSetTest, Property1MajorityUnionsSeeEachOther) {
+  // Simulate: n processes each receive two conflicting commands A and B in some order.
+  // A's deps computed over majority QA, B's over majority QB. One of the two commands
+  // must appear in the other's dependencies.
+  Rng rng(7);
+  const uint32_t n = 5;
+  Dot A = D(0, 1), B = D(1, 1);
+  for (int trial = 0; trial < 2000; trial++) {
+    // order[p] = true means p saw A before B.
+    std::vector<bool> a_first(n);
+    for (auto&& v : a_first) {
+      v = rng.Chance(0.5);
+    }
+    auto majority = [&](uint64_t salt) {
+      std::vector<uint32_t> procs;
+      for (uint32_t p = 0; p < n; p++) {
+        procs.push_back(p);
+      }
+      // random 3-subset
+      for (size_t i = 0; i < procs.size(); i++) {
+        std::swap(procs[i], procs[rng.Below(procs.size())]);
+      }
+      procs.resize(3);
+      return procs;
+    };
+    DepSet dep_a, dep_b;
+    for (uint32_t p : majority(1)) {
+      if (!a_first[p]) {
+        dep_a.Insert(B);  // p saw B before A, so it reports B as dependency of A
+      }
+    }
+    for (uint32_t p : majority(2)) {
+      if (a_first[p]) {
+        dep_b.Insert(A);
+      }
+    }
+    EXPECT_TRUE(dep_a.Contains(B) || dep_b.Contains(A));
+  }
+}
+
+TEST(DepSetTest, ThresholdUnionByProcCountsProcessesNotDots) {
+  // Two replies report different dots of process 2's conflict chain (aliases under
+  // dependency compression): per-dot counting would prune both; per-process counting
+  // keeps them.
+  Dot c23 = D(2, 3), c24 = D(2, 4), other = D(0, 9);
+  std::vector<DepSet> replies = {{c23}, {c24}, {other}, {}};
+  DepSet per_dot = ThresholdUnion(replies, 2);
+  EXPECT_TRUE(per_dot.empty());  // every dot has count 1
+  DepSet per_proc = ThresholdUnionByProc(replies, 2);
+  EXPECT_TRUE(per_proc.Contains(c23));
+  EXPECT_TRUE(per_proc.Contains(c24));
+  EXPECT_FALSE(per_proc.Contains(other));  // process 0 reported by one reply only
+}
+
+TEST(DepSetTest, ThresholdUnionByProcCountsReplyOncePerProcess) {
+  // One reply with two dots of the same process contributes a single count.
+  Dot a1 = D(1, 1), a2 = D(1, 2);
+  std::vector<DepSet> replies = {{a1, a2}, {}, {}};
+  EXPECT_TRUE(ThresholdUnionByProc(replies, 2).empty());
+}
+
+// Per-process counting is strictly more conservative: it keeps every dot the per-dot
+// rule keeps (soundness of the §4 pruning under compression relies on this).
+TEST(DepSetTest, ThresholdUnionByProcSupersetOfPerDot) {
+  Rng rng(123);
+  for (int trial = 0; trial < 500; trial++) {
+    size_t q = 2 + rng.Below(5);
+    size_t threshold = 1 + rng.Below(3);
+    std::vector<DepSet> replies(q);
+    for (auto& r : replies) {
+      size_t k = rng.Below(5);
+      for (size_t i = 0; i < k; i++) {
+        r.Insert(D(static_cast<ProcessId>(rng.Below(3)), 1 + rng.Below(4)));
+      }
+    }
+    DepSet per_dot = ThresholdUnion(replies, threshold);
+    DepSet per_proc = ThresholdUnionByProc(replies, threshold);
+    for (const Dot& d : per_dot) {
+      EXPECT_TRUE(per_proc.Contains(d));
+    }
+    // And it never keeps anything outside the plain union.
+    DepSet all = Union(replies);
+    for (const Dot& d : per_proc) {
+      EXPECT_TRUE(all.Contains(d));
+    }
+  }
+}
+
+// Randomized: threshold union == union iff every dot reported >= threshold times.
+TEST(DepSetTest, FastPathConditionMatchesDefinition) {
+  Rng rng(99);
+  for (int trial = 0; trial < 500; trial++) {
+    size_t q = 2 + rng.Below(5);
+    size_t threshold = 1 + rng.Below(3);
+    std::vector<DepSet> replies(q);
+    for (auto& r : replies) {
+      size_t k = rng.Below(4);
+      for (size_t i = 0; i < k; i++) {
+        r.Insert(D(static_cast<ProcessId>(rng.Below(3)), 1 + rng.Below(3)));
+      }
+    }
+    bool expected = ThresholdUnion(replies, threshold) == Union(replies);
+    EXPECT_EQ(FastPathCondition(replies, threshold), expected);
+  }
+}
+
+}  // namespace
+}  // namespace common

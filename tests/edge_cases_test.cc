@@ -1,0 +1,176 @@
+// Targeted edge cases across modules: codec robustness against corrupted valid
+// messages, command model corners, engine behaviour on malformed or unexpected input,
+// and simulator boundary conditions.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/codec/codec.h"
+#include "src/common/rng.h"
+#include "src/core/atlas.h"
+#include "src/msg/message.h"
+#include "src/sim/simulator.h"
+
+namespace {
+
+using common::Dot;
+using common::kMillisecond;
+using common::ProcessId;
+
+// Bit-flipping a valid encoding must never crash the decoder (it may still decode to
+// a different valid message; engines tolerate bogus-but-well-formed input).
+TEST(EdgeCaseTest, CodecSurvivesBitFlips) {
+  msg::MCollect m;
+  m.dot = Dot{2, 77};
+  m.cmd = smr::MakePut(5, 6, "key", "value-payload");
+  m.past = common::DepSet{Dot{0, 1}, Dot{1, 2}};
+  m.quorum = common::Quorum::Of({0, 1, 2});
+  codec::Writer w;
+  msg::Encode(w, msg::Message{m});
+  common::Rng rng(7);
+  for (int trial = 0; trial < 2000; trial++) {
+    std::vector<uint8_t> buf = w.buffer();
+    size_t pos = rng.Below(buf.size());
+    buf[pos] ^= static_cast<uint8_t>(1u << rng.Below(8));
+    codec::Reader r(buf.data(), buf.size());
+    msg::Message out;
+    msg::Decode(r, out);  // must not crash or hang
+  }
+}
+
+TEST(EdgeCaseTest, EmptyAndHugeCommands) {
+  // Empty key, empty value.
+  smr::Command c = smr::MakePut(1, 1, "", "");
+  codec::Writer w;
+  c.Encode(w);
+  codec::Reader r(w.buffer());
+  EXPECT_EQ(smr::Command::Decode(r), c);
+  EXPECT_TRUE(r.ok());
+  // 1 MB value round-trips.
+  smr::Command big = smr::MakePut(1, 2, "k", std::string(1 << 20, 'z'));
+  codec::Writer w2;
+  big.Encode(w2);
+  codec::Reader r2(w2.buffer());
+  EXPECT_EQ(smr::Command::Decode(r2), big);
+}
+
+TEST(EdgeCaseTest, CommandPayloadSizeCountsAllKeys) {
+  smr::Command c = smr::MakePut(1, 1, "abc", "0123456789");
+  c.more_keys = {"xy", "z"};
+  EXPECT_EQ(c.PayloadSize(), 3u + 10u + 2u + 1u);
+}
+
+// An Atlas engine must ignore messages of other protocols without crashing (mixed
+// deployments / versioning accidents).
+TEST(EdgeCaseTest, AtlasIgnoresForeignMessages) {
+  sim::Simulator::Options opts;
+  sim::Simulator sim(std::make_unique<sim::UniformLatency>(kMillisecond, 0), opts);
+  std::vector<std::unique_ptr<atlas::AtlasEngine>> engines;
+  for (int i = 0; i < 3; i++) {
+    atlas::Config cfg;
+    cfg.n = 3;
+    cfg.f = 1;
+    engines.push_back(std::make_unique<atlas::AtlasEngine>(cfg));
+    sim.AddEngine(engines.back().get());
+  }
+  sim.Start();
+  msg::EpPreAccept foreign;
+  foreign.dot = Dot{0, 1};
+  foreign.cmd = smr::MakePut(1, 1, "k", "v");
+  engines[0]->OnMessage(1, msg::Message{foreign});
+  msg::PxAccept paxos_msg;
+  paxos_msg.slot = 3;
+  engines[0]->OnMessage(1, msg::Message{paxos_msg});
+  // Still functional afterwards.
+  sim.Submit(0, smr::MakePut(2, 1, "k", "v"));
+  sim.RunUntilIdle();
+  EXPECT_EQ(engines[0]->stats().executed, 1u);
+}
+
+// Duplicated and replayed protocol messages must not double-execute (Integrity).
+TEST(EdgeCaseTest, ReplayedCommitIsIdempotent) {
+  sim::Simulator::Options opts;
+  sim::Simulator sim(std::make_unique<sim::UniformLatency>(kMillisecond, 0), opts);
+  std::vector<std::unique_ptr<atlas::AtlasEngine>> engines;
+  for (int i = 0; i < 3; i++) {
+    atlas::Config cfg;
+    cfg.n = 3;
+    cfg.f = 1;
+    engines.push_back(std::make_unique<atlas::AtlasEngine>(cfg));
+    sim.AddEngine(engines.back().get());
+  }
+  int executions = 0;
+  sim.SetExecutedHandler(
+      [&](ProcessId p, const Dot&, const smr::Command&) { executions++; });
+  sim.Start();
+  sim.Submit(0, smr::MakePut(1, 1, "k", "v"));
+  sim.RunUntilIdle();
+  EXPECT_EQ(executions, 3);
+  // Replay a commit at process 2.
+  msg::MCommit replay;
+  replay.dot = Dot{0, 1};
+  replay.cmd = smr::MakePut(1, 1, "k", "v");
+  engines[2]->OnMessage(0, msg::Message{replay});
+  sim.RunUntilIdle();
+  EXPECT_EQ(executions, 3);  // unchanged
+}
+
+TEST(EdgeCaseTest, SimulatorZeroLatencySelfConsistent) {
+  sim::Simulator::Options opts;
+  sim::Simulator sim(std::make_unique<sim::UniformLatency>(0, 0), opts);
+  std::vector<std::unique_ptr<atlas::AtlasEngine>> engines;
+  for (int i = 0; i < 3; i++) {
+    atlas::Config cfg;
+    cfg.n = 3;
+    cfg.f = 1;
+    engines.push_back(std::make_unique<atlas::AtlasEngine>(cfg));
+    sim.AddEngine(engines.back().get());
+  }
+  sim.Start();
+  for (int i = 0; i < 50; i++) {
+    sim.Submit(static_cast<ProcessId>(i % 3),
+               smr::MakePut(1, static_cast<uint64_t>(i) + 1, "k", "v"));
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.Now(), 0);  // everything at t=0, no time travel
+  EXPECT_EQ(engines[0]->stats().executed, 50u);
+}
+
+TEST(EdgeCaseTest, BallotOwnershipExhaustive) {
+  for (uint32_t n : {3u, 5u, 7u, 13u, 17u}) {
+    for (ProcessId p = 0; p < n; p++) {
+      common::Ballot b = common::InitialBallot(p);
+      for (int k = 0; k < 4; k++) {
+        EXPECT_EQ(common::BallotOwner(b, n), p);
+        common::Ballot next = common::NextRecoveryBallot(p, b, n);
+        EXPECT_GT(next, b);
+        b = next;
+      }
+    }
+  }
+}
+
+// Quorum fallback: when more than f peers are suspected, quorum selection must still
+// return a full-size quorum (protocol blocks, but never crashes).
+TEST(EdgeCaseTest, SuspectingEveryoneStillFormsQuorums) {
+  sim::Simulator::Options opts;
+  sim::Simulator sim(std::make_unique<sim::UniformLatency>(kMillisecond, 0), opts);
+  std::vector<std::unique_ptr<atlas::AtlasEngine>> engines;
+  for (int i = 0; i < 5; i++) {
+    atlas::Config cfg;
+    cfg.n = 5;
+    cfg.f = 2;
+    engines.push_back(std::make_unique<atlas::AtlasEngine>(cfg));
+    sim.AddEngine(engines.back().get());
+  }
+  sim.Start();
+  for (ProcessId p = 1; p < 5; p++) {
+    engines[0]->OnSuspect(p);
+    sim.Crash(p);
+  }
+  sim.Submit(0, smr::MakePut(1, 1, "k", "v"));  // must not abort
+  sim.RunFor(common::kSecond);
+  EXPECT_EQ(engines[0]->stats().executed, 0u);  // blocked, as documented
+}
+
+}  // namespace

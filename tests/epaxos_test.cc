@@ -1,0 +1,184 @@
+// EPaxos baseline tests: quorum sizing, matching-reply fast-path rule, seq-ordered
+// execution, consistency, NFR.
+#include "src/epaxos/epaxos.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sim/simulator.h"
+
+namespace epaxos {
+namespace {
+
+using common::Dot;
+using common::kMillisecond;
+using common::ProcessId;
+
+TEST(EPaxosConfigTest, FastQuorumSizes) {
+  // F + floor((F+1)/2) with F = floor((n-1)/2) — the ~3n/4-class quorum.
+  struct Case {
+    uint32_t n;
+    size_t fq;
+  };
+  const Case cases[] = {{3, 2}, {5, 3}, {7, 5}, {9, 6}, {13, 9}};
+  for (const auto& c : cases) {
+    Config cfg;
+    cfg.n = c.n;
+    EXPECT_EQ(cfg.FastQuorumSize(), c.fq) << "n=" << c.n;
+    EXPECT_GE(cfg.FastQuorumSize(), cfg.MajoritySize());
+  }
+}
+
+struct TestCluster {
+  explicit TestCluster(uint32_t n, bool nfr = false) {
+    sim::Simulator::Options opts;
+    opts.seed = 17;
+    sim = std::make_unique<sim::Simulator>(
+        std::make_unique<sim::UniformLatency>(10 * kMillisecond, 0), opts);
+    for (uint32_t i = 0; i < n; i++) {
+      Config cfg;
+      cfg.n = n;
+      cfg.nfr = nfr;
+      engines.push_back(std::make_unique<EPaxosEngine>(cfg));
+      sim->AddEngine(engines.back().get());
+    }
+    sim->SetExecutedHandler([this](ProcessId p, const Dot& d, const smr::Command& c) {
+      executed.emplace_back(p, c);
+    });
+    sim->Start();
+  }
+
+  std::vector<std::pair<uint64_t, uint64_t>> OrderAt(ProcessId p) const {
+    std::vector<std::pair<uint64_t, uint64_t>> out;
+    for (const auto& [proc, cmd] : executed) {
+      if (proc == p && !cmd.is_noop()) {
+        out.emplace_back(cmd.client, cmd.seq);
+      }
+    }
+    return out;
+  }
+
+  uint64_t TotalFast() const {
+    uint64_t v = 0;
+    for (const auto& e : engines) {
+      v += e->stats().fast_paths;
+    }
+    return v;
+  }
+  uint64_t TotalSlow() const {
+    uint64_t v = 0;
+    for (const auto& e : engines) {
+      v += e->stats().slow_paths;
+    }
+    return v;
+  }
+
+  std::unique_ptr<sim::Simulator> sim;
+  std::vector<std::unique_ptr<EPaxosEngine>> engines;
+  std::vector<std::pair<ProcessId, smr::Command>> executed;
+};
+
+TEST(EPaxosTest, NonConflictingGoesFast) {
+  TestCluster tc(5);
+  for (ProcessId p = 0; p < 5; p++) {
+    tc.sim->Submit(p, smr::MakePut(p + 1, 1, "key" + std::to_string(p), "v"));
+  }
+  tc.sim->RunUntilIdle();
+  EXPECT_EQ(tc.TotalFast(), 5u);
+  EXPECT_EQ(tc.TotalSlow(), 0u);
+  EXPECT_EQ(tc.executed.size(), 25u);
+}
+
+TEST(EPaxosTest, SequentialConflictingGoesFast) {
+  // Conflicting but not concurrent: replies match (deps already settled everywhere).
+  TestCluster tc(5);
+  for (int i = 0; i < 5; i++) {
+    tc.sim->Submit(0, smr::MakePut(1, static_cast<uint64_t>(i) + 1, "hot", "v"));
+    tc.sim->RunUntilIdle();
+  }
+  EXPECT_EQ(tc.TotalFast(), 5u);
+  EXPECT_EQ(tc.TotalSlow(), 0u);
+}
+
+TEST(EPaxosTest, ConcurrentConflictingForcesSlowPathUnlikeAtlas) {
+  // Two conflicting commands submitted simultaneously at different replicas: the
+  // fast-quorum replies cannot all match for both coordinators.
+  TestCluster tc(5);
+  tc.sim->Submit(0, smr::MakePut(1, 1, "hot", "v"));
+  tc.sim->Submit(4, smr::MakePut(2, 1, "hot", "v"));
+  tc.sim->RunUntilIdle();
+  EXPECT_GE(tc.TotalSlow(), 1u);
+  // Despite the conflict, execution order agrees everywhere.
+  auto ref = tc.OrderAt(0);
+  EXPECT_EQ(ref.size(), 2u);
+  for (ProcessId p = 1; p < 5; p++) {
+    EXPECT_EQ(tc.OrderAt(p), ref);
+  }
+}
+
+TEST(EPaxosTest, HighContentionStaysConsistent) {
+  TestCluster tc(5);
+  for (ProcessId p = 0; p < 5; p++) {
+    for (int i = 0; i < 20; i++) {
+      tc.sim->Submit(p, smr::MakePut(p + 1, static_cast<uint64_t>(i) + 1, "hot", "v"));
+    }
+  }
+  tc.sim->RunUntilIdle();
+  auto ref = tc.OrderAt(0);
+  EXPECT_EQ(ref.size(), 100u);
+  for (ProcessId p = 1; p < 5; p++) {
+    EXPECT_EQ(tc.OrderAt(p), ref) << "replica " << p;
+  }
+}
+
+TEST(EPaxosTest, MixedKeysConsistent) {
+  TestCluster tc(7);
+  for (ProcessId p = 0; p < 7; p++) {
+    for (int i = 0; i < 10; i++) {
+      std::string key = (i % 3 == 0) ? "hot" : "k" + std::to_string(p % 3);
+      tc.sim->Submit(p, smr::MakePut(p + 1, static_cast<uint64_t>(i) + 1, key, "v"));
+    }
+  }
+  tc.sim->RunUntilIdle();
+  EXPECT_EQ(tc.executed.size(), 70u * 7);
+  auto ref = tc.OrderAt(0);
+  for (ProcessId p = 1; p < 7; p++) {
+    // Project onto each key and compare relative orders via full sequence equality on
+    // conflicting-only workload subsets is complex; here all writes on same key
+    // conflict, so compare per-key subsequences.
+    for (const std::string& key : {std::string("hot"), std::string("k0"),
+                                   std::string("k1"), std::string("k2")}) {
+      std::vector<std::pair<uint64_t, uint64_t>> a, b;
+      for (const auto& [proc, cmd] : tc.executed) {
+        if (cmd.key != key) {
+          continue;
+        }
+        if (proc == 0) {
+          a.emplace_back(cmd.client, cmd.seq);
+        } else if (proc == p) {
+          b.emplace_back(cmd.client, cmd.seq);
+        }
+      }
+      EXPECT_EQ(a, b) << "key " << key << " replica " << p;
+    }
+  }
+}
+
+TEST(EPaxosTest, NfrReadUsesMajorityAndSkipsDependencies) {
+  TestCluster tc(7, /*nfr=*/true);
+  tc.sim->Submit(0, smr::MakePut(1, 1, "k", "v"));
+  tc.sim->RunUntilIdle();
+  tc.sim->Submit(3, smr::MakeGet(2, 1, "k"));
+  tc.sim->RunUntilIdle();
+  // Read committed fast.
+  EXPECT_EQ(tc.TotalSlow(), 0u);
+  // A later write does not depend on the read: still fast even if concurrent with
+  // nothing; then check execution everywhere.
+  tc.sim->Submit(5, smr::MakePut(3, 1, "k", "v2"));
+  tc.sim->RunUntilIdle();
+  EXPECT_EQ(tc.executed.size(), 3u * 7);
+}
+
+}  // namespace
+}  // namespace epaxos

@@ -1,0 +1,152 @@
+// Topology, link-monitor (Figure 3 substrate) and workload generator tests.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/harness/linkmon.h"
+#include "src/harness/topology.h"
+#include "src/sim/regions.h"
+#include "src/wl/workload.h"
+
+namespace harness {
+namespace {
+
+using common::kMillisecond;
+
+TEST(TopologyTest, ByProximitySortedByLatency) {
+  auto sites = sim::ScaleOutSites(13);
+  auto lat = BuildLatency(sites, 0);
+  for (common::ProcessId i = 0; i < 13; i++) {
+    auto peers = ByProximity(*lat, 13, i);
+    ASSERT_EQ(peers.size(), 12u);
+    for (size_t k = 1; k < peers.size(); k++) {
+      EXPECT_LE(lat->BasePropagation(i, peers[k - 1]),
+                lat->BasePropagation(i, peers[k]));
+    }
+  }
+}
+
+TEST(TopologyTest, ClosestSiteIsSelfWhenDeployed) {
+  auto sites = sim::ScaleOutSites(13);
+  for (size_t i = 0; i < sites.size(); i++) {
+    EXPECT_EQ(ClosestSite(sites[i], sites), i);
+  }
+}
+
+TEST(TopologyTest, OptimalLatencyShrinksWithMoreSites) {
+  auto clients = sim::ClientSites();
+  common::Duration prev = 0;
+  for (size_t k : {3u, 5u, 7u, 9u, 11u, 13u}) {
+    common::Duration opt = OptimalLatency(sim::ScaleOutSites(k), clients);
+    if (prev != 0) {
+      EXPECT_LT(opt, prev) << "optimal latency should improve with " << k << " sites";
+    }
+    prev = opt;
+  }
+  // Paper: optimal at 13 sites ~ 151ms; our model should be in the same ballpark.
+  common::Duration opt13 = OptimalLatency(sim::ScaleOutSites(13), clients);
+  EXPECT_GT(opt13, 80 * kMillisecond);
+  EXPECT_LT(opt13, 260 * kMillisecond);
+}
+
+TEST(TopologyTest, FairestLeaderIsCentral) {
+  auto sites = sim::ScaleOutSites(13);
+  auto clients = sim::ClientSites();
+  common::ProcessId leader = FairestLeader(sites, clients, 2);
+  EXPECT_LT(leader, 13u);
+  // The fairest leader should not be in Oceania/South America (geographic extremes).
+  const char* label = sim::AllRegions()[sites[leader]].label;
+  EXPECT_STRNE(label, "SY");
+  EXPECT_STRNE(label, "SP");
+}
+
+TEST(LinkMonTest, DefaultCampaignBoundsFByOne) {
+  LinkMonOptions opts;
+  LinkMonResult r = RunLinkFailureStudy(opts);
+  ASSERT_EQ(r.per_threshold.size(), 3u);
+  // Larger thresholds see no more failures than smaller ones.
+  EXPECT_GE(r.per_threshold[0].failed_link_seconds,
+            r.per_threshold[1].failed_link_seconds);
+  EXPECT_GE(r.per_threshold[1].failed_link_seconds,
+            r.per_threshold[2].failed_link_seconds);
+  // The paper's conclusion: slow links always covered by crashing one site.
+  EXPECT_LE(r.f_bound, 1u);
+  // Report renders.
+  std::string report = FormatLinkMonReport(opts, r);
+  EXPECT_NE(report.find("f <= "), std::string::npos);
+}
+
+TEST(LinkMonTest, Deterministic) {
+  LinkMonOptions opts;
+  opts.seed = 123;
+  LinkMonResult a = RunLinkFailureStudy(opts);
+  LinkMonResult b = RunLinkFailureStudy(opts);
+  EXPECT_EQ(a.episodes.size(), b.episodes.size());
+  ASSERT_EQ(a.per_threshold.size(), b.per_threshold.size());
+  for (size_t i = 0; i < a.per_threshold.size(); i++) {
+    EXPECT_EQ(a.per_threshold[i].failed_link_seconds,
+              b.per_threshold[i].failed_link_seconds);
+    EXPECT_EQ(a.per_threshold[i].max_simultaneous, b.per_threshold[i].max_simultaneous);
+  }
+}
+
+TEST(WorkloadTest, MicroConflictRate) {
+  common::Rng rng(3);
+  wl::MicroWorkload w(0.3, 100);
+  int shared = 0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; i++) {
+    smr::Command c = w.Next(1, static_cast<uint64_t>(i) + 1, rng);
+    EXPECT_EQ(c.op, smr::Op::kPut);
+    EXPECT_EQ(c.value.size(), 100u);
+    if (c.key == "00000000") {
+      shared++;
+    } else {
+      EXPECT_EQ(c.key, "c1");
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(shared) / kN, 0.3, 0.02);
+}
+
+TEST(WorkloadTest, MicroZeroAndFullConflicts) {
+  common::Rng rng(4);
+  wl::MicroWorkload none(0.0, 8);
+  wl::MicroWorkload all(1.0, 8);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_NE(none.Next(2, static_cast<uint64_t>(i) + 1, rng).key, "00000000");
+    EXPECT_EQ(all.Next(2, static_cast<uint64_t>(i) + 1, rng).key, "00000000");
+  }
+}
+
+TEST(WorkloadTest, YcsbMixAndSkew) {
+  common::Rng rng(5);
+  wl::YcsbWorkload w(1000000, 0.8, 100);
+  int reads = 0;
+  std::map<std::string, int> counts;
+  const int kN = 20000;
+  for (int i = 0; i < kN; i++) {
+    smr::Command c = w.Next(1, static_cast<uint64_t>(i) + 1, rng);
+    if (c.is_read()) {
+      reads++;
+    }
+    counts[c.key]++;
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / kN, 0.8, 0.02);
+  // Hot key dominance (paper: first 12 records ~20% of accesses).
+  int top = 0;
+  for (const auto& [k, v] : counts) {
+    top = std::max(top, v);
+  }
+  EXPECT_GT(top, kN / 100);  // hottest record way above uniform (1/1e6)
+}
+
+TEST(WorkloadTest, FixedKeyWorkloads) {
+  common::Rng rng(6);
+  wl::FixedKeyWorkload shared(true, 16);
+  wl::FixedKeyWorkload priv(false, 16);
+  EXPECT_EQ(shared.Next(7, 1, rng).key, "00000000");
+  EXPECT_EQ(priv.Next(7, 1, rng).key, "c7");
+}
+
+}  // namespace
+}  // namespace harness

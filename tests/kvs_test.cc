@@ -1,0 +1,71 @@
+#include "src/kvs/kvs.h"
+
+#include <gtest/gtest.h>
+
+namespace kvs {
+namespace {
+
+TEST(KvStoreTest, PutGet) {
+  KvStore kv;
+  EXPECT_EQ(kv.Apply(smr::MakeGet(1, 1, "a")), "");
+  kv.Apply(smr::MakePut(1, 2, "a", "v1"));
+  EXPECT_EQ(kv.Apply(smr::MakeGet(1, 3, "a")), "v1");
+  kv.Apply(smr::MakePut(1, 4, "a", "v2"));
+  EXPECT_EQ(kv.Apply(smr::MakeGet(1, 5, "a")), "v2");
+  EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(KvStoreTest, RmwAppendsAndReturnsPrevious) {
+  KvStore kv;
+  EXPECT_EQ(kv.Apply(smr::MakeRmw(1, 1, "a", "x")), "");
+  EXPECT_EQ(kv.Apply(smr::MakeRmw(1, 2, "a", "y")), "x");
+  EXPECT_EQ(kv.Apply(smr::MakeGet(1, 3, "a")), "xy");
+}
+
+TEST(KvStoreTest, ScanAndMPut) {
+  KvStore kv;
+  smr::Command mput = smr::MakePut(1, 1, "a", "v");
+  mput.op = smr::Op::kMPut;
+  mput.more_keys = {"b", "c"};
+  kv.Apply(mput);
+  EXPECT_EQ(kv.size(), 3u);
+  smr::Command scan = smr::MakeGet(1, 2, "a");
+  scan.op = smr::Op::kScan;
+  scan.more_keys = {"b", "c", "missing"};
+  EXPECT_EQ(kv.Apply(scan), "vvv");
+}
+
+TEST(KvStoreTest, NoOpHasNoEffect) {
+  KvStore kv;
+  kv.Apply(smr::MakePut(1, 1, "a", "v"));
+  uint64_t digest = kv.StateDigest();
+  EXPECT_EQ(kv.Apply(smr::MakeNoOp()), "");
+  EXPECT_EQ(kv.StateDigest(), digest);
+}
+
+TEST(KvStoreTest, DigestIsOrderIndependentForCommutingOps) {
+  KvStore a, b;
+  a.Apply(smr::MakePut(1, 1, "x", "1"));
+  a.Apply(smr::MakePut(1, 2, "y", "2"));
+  b.Apply(smr::MakePut(1, 2, "y", "2"));
+  b.Apply(smr::MakePut(1, 1, "x", "1"));
+  EXPECT_EQ(a.StateDigest(), b.StateDigest());
+}
+
+TEST(KvStoreTest, DigestDetectsDivergence) {
+  KvStore a, b;
+  a.Apply(smr::MakePut(1, 1, "x", "1"));
+  b.Apply(smr::MakePut(1, 1, "x", "2"));
+  EXPECT_NE(a.StateDigest(), b.StateDigest());
+}
+
+TEST(KvStoreTest, Lookup) {
+  KvStore kv;
+  EXPECT_EQ(kv.Lookup("a"), nullptr);
+  kv.Apply(smr::MakePut(1, 1, "a", "v"));
+  ASSERT_NE(kv.Lookup("a"), nullptr);
+  EXPECT_EQ(*kv.Lookup("a"), "v");
+}
+
+}  // namespace
+}  // namespace kvs

@@ -1,0 +1,127 @@
+// Mencius baseline tests: round-robin ownership, skip propagation, total order.
+#include "src/mencius/mencius.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sim/simulator.h"
+
+namespace mencius {
+namespace {
+
+using common::Dot;
+using common::kMillisecond;
+using common::ProcessId;
+
+struct TestCluster {
+  explicit TestCluster(uint32_t n) {
+    sim::Simulator::Options opts;
+    opts.seed = 29;
+    sim = std::make_unique<sim::Simulator>(
+        std::make_unique<sim::UniformLatency>(10 * kMillisecond, 0), opts);
+    for (uint32_t i = 0; i < n; i++) {
+      Config cfg;
+      cfg.n = n;
+      engines.push_back(std::make_unique<MenciusEngine>(cfg));
+      sim->AddEngine(engines.back().get());
+    }
+    sim->SetExecutedHandler([this](ProcessId p, const Dot& d, const smr::Command& c) {
+      executed.emplace_back(p, c);
+    });
+    sim->Start();
+  }
+
+  std::vector<std::pair<uint64_t, uint64_t>> OrderAt(ProcessId p) const {
+    std::vector<std::pair<uint64_t, uint64_t>> out;
+    for (const auto& [proc, cmd] : executed) {
+      if (proc == p && !cmd.is_noop()) {
+        out.emplace_back(cmd.client, cmd.seq);
+      }
+    }
+    return out;
+  }
+
+  std::unique_ptr<sim::Simulator> sim;
+  std::vector<std::unique_ptr<MenciusEngine>> engines;
+  std::vector<std::pair<ProcessId, smr::Command>> executed;
+};
+
+TEST(MenciusTest, SingleCommandExecutesEverywhere) {
+  TestCluster tc(3);
+  tc.sim->Submit(1, smr::MakePut(1, 1, "k", "v"));
+  tc.sim->RunUntilIdle();
+  EXPECT_EQ(tc.executed.size(), 3u);
+  // Idle processes 0 and 2 skipped their lower slots so slot 1 could execute.
+  EXPECT_GE(tc.engines[0]->ExecutedUpto(), 2u);
+}
+
+TEST(MenciusTest, TotalOrderAcrossReplicas) {
+  TestCluster tc(5);
+  for (ProcessId p = 0; p < 5; p++) {
+    for (int i = 0; i < 10; i++) {
+      tc.sim->Submit(p, smr::MakePut(p + 1, static_cast<uint64_t>(i) + 1, "k", "v"));
+    }
+  }
+  tc.sim->RunUntilIdle();
+  auto ref = tc.OrderAt(0);
+  EXPECT_EQ(ref.size(), 50u);
+  for (ProcessId p = 1; p < 5; p++) {
+    EXPECT_EQ(tc.OrderAt(p), ref) << "replica " << p;  // Mencius gives a TOTAL order
+  }
+}
+
+TEST(MenciusTest, InterleavedSubmissionsKeepSlotOrder) {
+  TestCluster tc(3);
+  // Replica 0 sends a burst; replicas 1 and 2 interleave.
+  for (int round = 0; round < 5; round++) {
+    tc.sim->Submit(0, smr::MakePut(1, static_cast<uint64_t>(round) + 1, "a", "v"));
+    tc.sim->RunFor(3 * kMillisecond);
+    tc.sim->Submit(1, smr::MakePut(2, static_cast<uint64_t>(round) + 1, "b", "v"));
+    tc.sim->RunFor(3 * kMillisecond);
+    tc.sim->Submit(2, smr::MakePut(3, static_cast<uint64_t>(round) + 1, "c", "v"));
+    tc.sim->RunFor(3 * kMillisecond);
+  }
+  tc.sim->RunUntilIdle();
+  auto ref = tc.OrderAt(0);
+  EXPECT_EQ(ref.size(), 15u);
+  EXPECT_EQ(tc.OrderAt(1), ref);
+  EXPECT_EQ(tc.OrderAt(2), ref);
+}
+
+TEST(MenciusTest, CommitRequiresAllReplicas) {
+  // With one replica partitioned away, nothing can commit (Mencius runs at the speed
+  // of the slowest replica).
+  TestCluster tc(3);
+  tc.sim->SetLinkDown(2, 0, true);  // 2's acks to 0 dropped
+  tc.sim->Submit(0, smr::MakePut(1, 1, "k", "v"));
+  tc.sim->RunFor(500 * kMillisecond);
+  EXPECT_EQ(tc.executed.size(), 0u);
+  tc.sim->SetLinkDown(2, 0, false);
+  // A later submission triggers a fresh propose/ack exchange; the stalled slot still
+  // lacks its ack from 2 (the earlier MnAck was dropped, not retransmitted), so
+  // re-propose is modeled by a new command from 0.
+  tc.sim->Submit(2, smr::MakePut(2, 1, "k", "v"));
+  tc.sim->RunUntilIdle();
+  // The second command cannot execute before the first (slot order), and the first is
+  // stuck without its ack: acceptable for this failure-free baseline. What must hold:
+  // no divergence.
+  auto o0 = tc.OrderAt(0);
+  auto o1 = tc.OrderAt(1);
+  EXPECT_EQ(o0, o1);
+}
+
+TEST(MenciusTest, IdleReplicasDoNotBlockExecution) {
+  TestCluster tc(5);
+  // Only replica 3 submits; everyone else is idle and must skip.
+  for (int i = 0; i < 20; i++) {
+    tc.sim->Submit(3, smr::MakePut(1, static_cast<uint64_t>(i) + 1, "k", "v"));
+  }
+  tc.sim->RunUntilIdle();
+  for (ProcessId p = 0; p < 5; p++) {
+    EXPECT_EQ(tc.OrderAt(p).size(), 20u) << "replica " << p;
+  }
+}
+
+}  // namespace
+}  // namespace mencius

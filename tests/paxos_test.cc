@@ -1,0 +1,153 @@
+// Multi-Paxos / FPaxos baseline tests: log replication, forwarding, quorum modes,
+// leader fail-over with noOp gap filling.
+#include "src/paxos/multipaxos.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sim/simulator.h"
+
+namespace paxos {
+namespace {
+
+using common::Dot;
+using common::kMillisecond;
+using common::kSecond;
+using common::ProcessId;
+
+struct TestCluster {
+  explicit TestCluster(uint32_t n, uint32_t f, QuorumMode mode,
+                       ProcessId leader = 0) {
+    sim::Simulator::Options opts;
+    opts.seed = 5;
+    sim = std::make_unique<sim::Simulator>(
+        std::make_unique<sim::UniformLatency>(10 * kMillisecond, 0), opts);
+    for (uint32_t i = 0; i < n; i++) {
+      Config cfg;
+      cfg.n = n;
+      cfg.f = f;
+      cfg.mode = mode;
+      cfg.initial_leader = leader;
+      engines.push_back(std::make_unique<PaxosEngine>(cfg));
+      sim->AddEngine(engines.back().get());
+    }
+    sim->SetExecutedHandler([this](ProcessId p, const Dot& d, const smr::Command& c) {
+      executed.emplace_back(p, c);
+    });
+    sim->Start();
+  }
+
+  std::vector<std::pair<uint64_t, uint64_t>> OrderAt(ProcessId p,
+                                                     bool skip_noops = true) const {
+    std::vector<std::pair<uint64_t, uint64_t>> out;
+    for (const auto& [proc, cmd] : executed) {
+      if (proc == p && (!skip_noops || !cmd.is_noop())) {
+        out.emplace_back(cmd.client, cmd.seq);
+      }
+    }
+    return out;
+  }
+
+  std::unique_ptr<sim::Simulator> sim;
+  std::vector<std::unique_ptr<PaxosEngine>> engines;
+  std::vector<std::pair<ProcessId, smr::Command>> executed;
+};
+
+TEST(PaxosTest, LeaderCommitsAndAllExecuteInSlotOrder) {
+  TestCluster tc(5, 1, QuorumMode::kFlexible);
+  for (int i = 0; i < 10; i++) {
+    tc.sim->Submit(0, smr::MakePut(1, static_cast<uint64_t>(i) + 1, "k", "v"));
+  }
+  tc.sim->RunUntilIdle();
+  auto ref = tc.OrderAt(0);
+  EXPECT_EQ(ref.size(), 10u);
+  for (size_t i = 0; i < ref.size(); i++) {
+    EXPECT_EQ(ref[i].second, i + 1);  // submission order preserved
+  }
+  for (ProcessId p = 1; p < 5; p++) {
+    EXPECT_EQ(tc.OrderAt(p), ref);
+  }
+}
+
+TEST(PaxosTest, NonLeaderForwardsToLeader) {
+  TestCluster tc(3, 1, QuorumMode::kFlexible, /*leader=*/1);
+  tc.sim->Submit(0, smr::MakePut(1, 1, "k", "v"));
+  tc.sim->Submit(2, smr::MakePut(2, 1, "k", "v"));
+  tc.sim->RunUntilIdle();
+  EXPECT_EQ(tc.OrderAt(0).size(), 2u);
+  EXPECT_EQ(tc.OrderAt(0), tc.OrderAt(1));
+  EXPECT_EQ(tc.OrderAt(0), tc.OrderAt(2));
+  EXPECT_TRUE(tc.engines[1]->IsLeader());
+  EXPECT_FALSE(tc.engines[0]->IsLeader());
+}
+
+TEST(PaxosTest, FlexibleQuorumIsSmaller) {
+  Config flexible;
+  flexible.n = 13;
+  flexible.f = 2;
+  flexible.mode = QuorumMode::kFlexible;
+  EXPECT_EQ(flexible.Phase2Size(), 3u);
+  EXPECT_EQ(flexible.Phase1Size(), 11u);
+  Config classic = flexible;
+  classic.mode = QuorumMode::kClassic;
+  EXPECT_EQ(classic.Phase2Size(), 7u);
+  EXPECT_EQ(classic.Phase1Size(), 7u);
+}
+
+TEST(PaxosTest, LeaderFailoverElectsNewLeaderAndResumesService) {
+  TestCluster tc(3, 1, QuorumMode::kFlexible, /*leader=*/1);
+  for (int i = 0; i < 5; i++) {
+    tc.sim->Submit(1, smr::MakePut(1, static_cast<uint64_t>(i) + 1, "k", "v"));
+  }
+  tc.sim->RunUntilIdle();
+  tc.sim->Crash(1);
+  for (ProcessId p : {0u, 2u}) {
+    tc.engines[p]->OnSuspect(1);
+  }
+  tc.sim->RunFor(5 * kSecond);
+  // Someone is leader now.
+  EXPECT_TRUE(tc.engines[0]->IsLeader() || tc.engines[2]->IsLeader());
+  ProcessId new_leader = tc.engines[0]->IsLeader() ? 0 : 2;
+  // Service resumes through the new leader.
+  tc.sim->Submit(new_leader, smr::MakePut(2, 1, "k", "v"));
+  tc.sim->RunUntilIdle();
+  auto o0 = tc.OrderAt(0);
+  auto o2 = tc.OrderAt(2);
+  EXPECT_EQ(o0, o2);
+  EXPECT_EQ(o0.size(), 6u);
+}
+
+TEST(PaxosTest, FailoverRecoversInFlightCommandOrFillsNoOp) {
+  TestCluster tc(3, 1, QuorumMode::kFlexible, /*leader=*/0);
+  // Leader proposes but crashes immediately; the accept may or may not have reached
+  // a quorum member.
+  tc.sim->Submit(0, smr::MakePut(1, 1, "k", "v"));
+  tc.sim->RunFor(11 * kMillisecond);  // PxAccept delivered to the f+1 quorum member
+  tc.sim->Crash(0);
+  tc.engines[1]->OnSuspect(0);
+  tc.engines[2]->OnSuspect(0);
+  tc.sim->RunFor(10 * kSecond);
+  // New leader adopted the accepted command (it reached a quorum member's log).
+  tc.sim->Submit(1, smr::MakePut(2, 1, "k", "v"));
+  tc.sim->Submit(2, smr::MakePut(3, 1, "k", "v"));
+  tc.sim->RunUntilIdle();
+  auto o1 = tc.OrderAt(1);
+  auto o2 = tc.OrderAt(2);
+  EXPECT_EQ(o1, o2);
+  EXPECT_GE(o1.size(), 2u);  // the two new commands, plus possibly the recovered one
+}
+
+TEST(PaxosTest, ClassicMajorityMode) {
+  TestCluster tc(5, 2, QuorumMode::kClassic);
+  for (int i = 0; i < 5; i++) {
+    tc.sim->Submit(0, smr::MakePut(1, static_cast<uint64_t>(i) + 1, "k", "v"));
+  }
+  tc.sim->RunUntilIdle();
+  for (ProcessId p = 0; p < 5; p++) {
+    EXPECT_EQ(tc.OrderAt(p).size(), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace paxos

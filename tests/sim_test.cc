@@ -1,0 +1,223 @@
+// Discrete-event simulator and WAN model tests.
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/regions.h"
+
+namespace sim {
+namespace {
+
+using common::Dot;
+using common::kMillisecond;
+using common::kSecond;
+using common::ProcessId;
+using common::Time;
+
+// An engine that records receptions and can echo messages back.
+class EchoEngine final : public smr::Engine {
+ public:
+  void Submit(smr::Command cmd) override {
+    // Broadcast the command to everyone as an MCommit (arbitrary carrier message).
+    msg::MCommit m;
+    m.cmd = std::move(cmd);
+    m.dot = Dot{self_, ++seq_};
+    for (ProcessId p = 0; p < n_; p++) {
+      if (p != self_) {
+        SendTo(p, m);
+      }
+    }
+  }
+
+  void OnMessage(ProcessId from, const msg::Message& m) override {
+    received.emplace_back(from, ctx_->Now());
+  }
+
+  void OnTimer(uint64_t token) override { timer_tokens.push_back(token); }
+
+  smr::Context* context() { return ctx_; }
+
+  std::vector<std::pair<ProcessId, Time>> received;
+  std::vector<uint64_t> timer_tokens;
+
+ private:
+  uint64_t seq_ = 0;
+};
+
+TEST(SimulatorTest, DeliversWithConfiguredLatency) {
+  Simulator::Options opts;
+  opts.seed = 1;
+  Simulator sim(std::make_unique<UniformLatency>(50 * kMillisecond, 0), opts);
+  EchoEngine a, b, c;
+  sim.AddEngine(&a);
+  sim.AddEngine(&b);
+  sim.AddEngine(&c);
+  sim.Start();
+  sim.Submit(0, smr::MakePut(1, 1, "k", "v"));
+  sim.RunUntilIdle();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].second, 50 * kMillisecond);
+  ASSERT_EQ(c.received.size(), 1u);
+  EXPECT_EQ(sim.messages_delivered(), 2u);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    Simulator::Options opts;
+    opts.seed = seed;
+    Simulator sim(std::make_unique<UniformLatency>(10 * kMillisecond, 5 * kMillisecond),
+                  opts);
+    EchoEngine a, b, c;
+    sim.AddEngine(&a);
+    sim.AddEngine(&b);
+    sim.AddEngine(&c);
+    sim.Start();
+    for (int i = 0; i < 20; i++) {
+      sim.Submit(0, smr::MakePut(1, static_cast<uint64_t>(i) + 1, "k", "v"));
+    }
+    sim.RunUntilIdle();
+    return b.received;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(SimulatorTest, CrashedProcessReceivesNothing) {
+  Simulator::Options opts;
+  Simulator sim(std::make_unique<UniformLatency>(10 * kMillisecond, 0), opts);
+  EchoEngine a, b, c;
+  sim.AddEngine(&a);
+  sim.AddEngine(&b);
+  sim.AddEngine(&c);
+  sim.Start();
+  sim.Crash(1);
+  sim.Submit(0, smr::MakePut(1, 1, "k", "v"));
+  sim.RunUntilIdle();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(c.received.size(), 1u);
+  EXPECT_EQ(sim.messages_dropped(), 1u);
+}
+
+TEST(SimulatorTest, LinkFailureDropsMessages) {
+  Simulator::Options opts;
+  Simulator sim(std::make_unique<UniformLatency>(10 * kMillisecond, 0), opts);
+  EchoEngine a, b, c;
+  sim.AddEngine(&a);
+  sim.AddEngine(&b);
+  sim.AddEngine(&c);
+  sim.Start();
+  sim.SetLinkDown(0, 1, true);
+  sim.Submit(0, smr::MakePut(1, 1, "k", "v"));
+  sim.RunUntilIdle();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(c.received.size(), 1u);
+  sim.SetLinkDown(0, 1, false);
+  sim.Submit(0, smr::MakePut(1, 2, "k", "v"));
+  sim.RunUntilIdle();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(SimulatorTest, FifoLinksPreserveOrderUnderJitter) {
+  Simulator::Options opts;
+  opts.seed = 3;
+  opts.fifo_links = true;
+  Simulator sim(
+      std::make_unique<UniformLatency>(10 * kMillisecond, 30 * kMillisecond), opts);
+  EchoEngine a, b, c;
+  sim.AddEngine(&a);
+  sim.AddEngine(&b);
+  sim.AddEngine(&c);
+  sim.Start();
+  for (int i = 0; i < 50; i++) {
+    sim.Submit(0, smr::MakePut(1, static_cast<uint64_t>(i) + 1, "k", "v"));
+  }
+  sim.RunUntilIdle();
+  ASSERT_EQ(b.received.size(), 50u);
+  for (size_t i = 1; i < b.received.size(); i++) {
+    EXPECT_LE(b.received[i - 1].second, b.received[i].second);
+  }
+}
+
+TEST(SimulatorTest, TimersFire) {
+  Simulator::Options opts;
+  Simulator sim(std::make_unique<UniformLatency>(kMillisecond, 0), opts);
+  EchoEngine a, b, c;
+  sim.AddEngine(&a);
+  sim.AddEngine(&b);
+  sim.AddEngine(&c);
+  sim.Start();
+  a.context()->SetTimer(100 * kMillisecond, 42);
+  sim.RunUntilIdle();
+  ASSERT_EQ(a.timer_tokens.size(), 1u);
+  EXPECT_EQ(a.timer_tokens[0], 42u);
+  EXPECT_EQ(sim.Now(), 100 * kMillisecond);
+}
+
+TEST(SimulatorTest, EgressModelSerializesTransmissions) {
+  Simulator::Options opts;
+  opts.egress_bytes_per_sec = 1000.0;  // 1 KB/s: very slow NIC
+  Simulator sim(std::make_unique<UniformLatency>(0, 0), opts);
+  EchoEngine a, b, c;
+  sim.AddEngine(&a);
+  sim.AddEngine(&b);
+  sim.AddEngine(&c);
+  sim.Start();
+  sim.Submit(0, smr::MakePut(1, 1, "k", std::string(1000, 'x')));
+  sim.RunUntilIdle();
+  // Two copies (to b and c) of a ~1KB message at 1KB/s: second arrives ~1s after first.
+  ASSERT_EQ(b.received.size(), 1u);
+  ASSERT_EQ(c.received.size(), 1u);
+  Time t1 = std::min(b.received[0].second, c.received[0].second);
+  Time t2 = std::max(b.received[0].second, c.received[0].second);
+  EXPECT_GT(t1, 900 * kMillisecond);
+  EXPECT_GT(t2 - t1, 900 * kMillisecond);
+}
+
+TEST(RegionsTest, SeventeenRegionsWithPlausibleRtts) {
+  const auto& regions = AllRegions();
+  EXPECT_EQ(regions.size(), 17u);
+  // Symmetry + plausibility checks.
+  const Region& tw = regions[RegionIndexByLabel("TW")];
+  const Region& fi = regions[RegionIndexByLabel("FI")];
+  const Region& sc = regions[RegionIndexByLabel("SC")];
+  EXPECT_EQ(ModeledRtt(tw, fi), ModeledRtt(fi, tw));
+  // Taiwan <-> Finland is intercontinental: roughly 100-350ms.
+  EXPECT_GT(ModeledRtt(tw, fi), 100 * kMillisecond);
+  EXPECT_LT(ModeledRtt(tw, fi), 350 * kMillisecond);
+  // Within Europe: under 60ms.
+  const Region& be = regions[RegionIndexByLabel("BE")];
+  const Region& ln = regions[RegionIndexByLabel("LN")];
+  EXPECT_LT(ModeledRtt(be, ln), 60 * kMillisecond);
+  EXPECT_GT(ModeledRtt(tw, sc), ModeledRtt(be, ln));
+}
+
+TEST(RegionsTest, ScaleOutSubsetsNested) {
+  auto s3 = ScaleOutSites(3);
+  auto s13 = ScaleOutSites(13);
+  EXPECT_EQ(s3.size(), 3u);
+  EXPECT_EQ(s13.size(), 13u);
+  for (size_t i = 0; i < 3; i++) {
+    EXPECT_EQ(s3[i], s13[i]);
+  }
+  // All distinct.
+  auto sorted = s13;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+}
+
+TEST(RegionsTest, OneWayMatrixConsistentWithRtt) {
+  auto subset = ThreeSites();
+  auto m = OneWayMatrix(subset);
+  const auto& regions = AllRegions();
+  for (size_t i = 0; i < 3; i++) {
+    EXPECT_EQ(m[i][i], 0);
+    for (size_t j = 0; j < 3; j++) {
+      if (i != j) {
+        EXPECT_EQ(m[i][j], ModeledRtt(regions[subset[i]], regions[subset[j]]) / 2);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,118 @@
+// Machine-readable benchmark output: a tiny JSON writer so the perf trajectory of the
+// hot paths is tracked across PRs (BENCH_*.json files) instead of only stdout tables.
+//
+// Two entry points:
+//   * BenchJsonWriter       — collect {name, ns/op, bytes/sec, items/sec} rows and
+//                             write them as a JSON array; used by the figure benches.
+//   * JsonTeeReporter       — a google-benchmark reporter that prints the usual
+//                             console table AND records every run into a
+//                             BenchJsonWriter; used by micro_core.
+//
+// The output path defaults to BENCH_<tag>.json in the working directory and can be
+// redirected with the ATLAS_BENCH_JSON_DIR environment variable.
+#ifndef BENCH_BENCH_JSON_H_
+#define BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace bench {
+
+inline std::string JsonPathFor(const std::string& tag) {
+  const char* dir = std::getenv("ATLAS_BENCH_JSON_DIR");
+  std::string path = dir != nullptr ? std::string(dir) + "/" : std::string();
+  return path + "BENCH_" + tag + ".json";
+}
+
+class BenchJsonWriter {
+ public:
+  // `tag` names the output file: BENCH_<tag>.json.
+  explicit BenchJsonWriter(std::string tag) : path_(JsonPathFor(tag)) {}
+
+  void Add(const std::string& name, double ns_per_op, double bytes_per_sec = 0,
+           double items_per_sec = 0) {
+    rows_.push_back(Row{name, ns_per_op, bytes_per_sec, items_per_sec});
+  }
+
+  // Writes the collected rows; returns false (and warns) on I/O failure.
+  bool WriteOut() const {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot open %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows_.size(); i++) {
+      const Row& r = rows_[i];
+      std::fprintf(f, "  {\"name\": \"%s\", \"ns_per_op\": %.3f", r.name.c_str(),
+                   r.ns_per_op);
+      if (r.bytes_per_sec > 0) {
+        std::fprintf(f, ", \"bytes_per_sec\": %.1f", r.bytes_per_sec);
+      }
+      if (r.items_per_sec > 0) {
+        std::fprintf(f, ", \"items_per_sec\": %.1f", r.items_per_sec);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("bench_json: wrote %zu entries to %s\n", rows_.size(), path_.c_str());
+    return true;
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Row {
+    std::string name;
+    double ns_per_op;
+    double bytes_per_sec;
+    double items_per_sec;
+  };
+  std::string path_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace bench
+
+// google-benchmark was included before us: offer the tee reporter.
+#ifdef BENCHMARK_BENCHMARK_H_
+
+namespace bench {
+
+class JsonTeeReporter final : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(BenchJsonWriter* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      double ns = run.GetAdjustedRealTime();  // already in ns (default time unit)
+      double bytes_per_sec = 0;
+      double items_per_sec = 0;
+      auto it = run.counters.find("bytes_per_second");
+      if (it != run.counters.end()) {
+        bytes_per_sec = static_cast<double>(it->second.value);
+      }
+      it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        items_per_sec = static_cast<double>(it->second.value);
+      }
+      json_->Add(run.benchmark_name(), ns, bytes_per_sec, items_per_sec);
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchJsonWriter* json_;
+};
+
+}  // namespace bench
+
+#endif  // BENCHMARK_H_
+
+#endif  // BENCH_BENCH_JSON_H_

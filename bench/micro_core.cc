@@ -1,12 +1,17 @@
 // Microbenchmarks (google-benchmark) for the library's hot paths: dependency-set
-// algebra, codec, conflict index, the graph executor, and Zipfian sampling.
+// algebra, codec, conflict index, the graph executor, the simulator deliver path, and
+// Zipfian sampling. Results are mirrored to BENCH_micro.json (see bench_json.h).
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
+#include "bench/bench_json.h"
 #include "src/codec/codec.h"
 #include "src/common/dep_set.h"
 #include "src/common/rng.h"
 #include "src/exec/graph_executor.h"
 #include "src/msg/message.h"
+#include "src/sim/simulator.h"
 #include "src/smr/conflict_index.h"
 
 namespace {
@@ -25,26 +30,34 @@ std::vector<DepSet> MakeReplies(size_t quorum, size_t deps_per_reply, uint64_t s
   return replies;
 }
 
+// The engines keep per-engine scratch and call the *Into variants; measure that
+// steady-state (allocation-free) path.
 void BM_DepSetUnion(benchmark::State& state) {
   auto replies = MakeReplies(static_cast<size_t>(state.range(0)), 8, 1);
+  DepSet out;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(common::Union(replies));
+    common::UnionInto(replies, out);
+    benchmark::DoNotOptimize(out.size());
   }
 }
 BENCHMARK(BM_DepSetUnion)->Arg(4)->Arg(8);
 
 void BM_DepSetThresholdUnion(benchmark::State& state) {
   auto replies = MakeReplies(static_cast<size_t>(state.range(0)), 8, 2);
+  common::DepScratch scratch;
+  DepSet out;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(common::ThresholdUnion(replies, 2));
+    common::ThresholdUnionInto(replies, 2, scratch, out);
+    benchmark::DoNotOptimize(out.size());
   }
 }
 BENCHMARK(BM_DepSetThresholdUnion)->Arg(4)->Arg(8);
 
 void BM_FastPathCondition(benchmark::State& state) {
   auto replies = MakeReplies(7, static_cast<size_t>(state.range(0)), 3);
+  common::DepScratch scratch;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(common::FastPathCondition(replies, 2));
+    benchmark::DoNotOptimize(common::FastPathCondition(replies, 2, scratch));
   }
 }
 BENCHMARK(BM_FastPathCondition)->Arg(2)->Arg(16);
@@ -76,14 +89,61 @@ void BM_ConflictIndex(benchmark::State& state) {
                                        : smr::IndexMode::kFull);
   common::Rng rng(5);
   uint64_t seq = 1;
+  DepSet scratch;  // engines collect into a reusable scratch set; measure that path
   for (auto _ : state) {
     Dot dot{static_cast<common::ProcessId>(rng.Below(5)), seq++};
     smr::Command cmd = smr::MakePut(1, seq, "key" + std::to_string(rng.Below(64)), "v");
-    benchmark::DoNotOptimize(idx.Conflicts(cmd, dot));
+    idx.CollectInto(cmd, dot, scratch);
+    benchmark::DoNotOptimize(scratch.size());
     idx.Record(dot, cmd);
   }
 }
-BENCHMARK(BM_ConflictIndex)->Arg(1)->ArgName("compressed");
+// Arg(0) = full mode, Arg(1) = compressed; both must stay visible so a regression in
+// either indexing strategy shows up.
+BENCHMARK(BM_ConflictIndex)->Arg(0)->Arg(1)->ArgName("compressed");
+
+// Simulator deliver path: one Submit broadcasts to the other n-1 processes and the sim
+// drains. Exercises the event queue, the egress/FIFO bookkeeping, EncodedSize, and the
+// delivery dispatch — the per-message cost every sim-driven bench pays.
+class BroadcastEngine final : public smr::Engine {
+ public:
+  void Submit(smr::Command cmd) override {
+    msg::MCommit m;
+    m.cmd = std::move(cmd);
+    m.dot = Dot{self_, ++seq_};
+    m.deps = DepSet{Dot{0, 1}, Dot{1, 2}, Dot{2, 3}};
+    for (common::ProcessId p = 0; p < n_; p++) {
+      if (p != self_) {
+        SendTo(p, m);
+      }
+    }
+  }
+  void OnMessage(common::ProcessId from, const msg::Message& m) override { received_++; }
+
+ private:
+  uint64_t seq_ = 0;
+  uint64_t received_ = 0;
+};
+
+void BM_SimulatorDeliver(benchmark::State& state) {
+  const uint32_t n = 5;
+  sim::Simulator::Options opts;
+  opts.seed = 7;
+  sim::Simulator sim(std::make_unique<sim::UniformLatency>(common::kMillisecond, 0),
+                     opts);
+  std::vector<BroadcastEngine> engines(n);
+  for (auto& e : engines) {
+    sim.AddEngine(&e);
+  }
+  sim.Start();
+  uint64_t client_seq = 0;
+  for (auto _ : state) {
+    sim.Submit(0, smr::MakePut(1, ++client_seq, "key42", "value"));
+    sim.RunUntilIdle();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(sim.messages_delivered()));
+}
+BENCHMARK(BM_SimulatorDeliver);
 
 void BM_GraphExecutorChain(benchmark::State& state) {
   for (auto _ : state) {
@@ -116,4 +176,15 @@ BENCHMARK(BM_Zipf);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  bench::BenchJsonWriter json("micro");
+  bench::JsonTeeReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  json.WriteOut();
+  benchmark::Shutdown();
+  return 0;
+}

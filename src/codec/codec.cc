@@ -111,15 +111,17 @@ common::DepSet Reader::Deps() {
     ok_ = false;
     return {};
   }
-  std::vector<common::Dot> dots;
-  dots.reserve(n);
+  common::DepSet out;
+  out.Reserve(n);
   for (uint64_t i = 0; i < n; i++) {
-    dots.push_back(Dot());
+    // Wire order is sorted (we encode sorted sets), so Insert appends; Insert also
+    // tolerates adversarial unsorted input from the network.
+    out.Insert(Dot());
     if (!ok_) {
       return {};
     }
   }
-  return common::DepSet(std::move(dots));
+  return out;
 }
 
 }  // namespace codec

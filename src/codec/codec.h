@@ -35,9 +35,49 @@ class Writer {
   std::vector<uint8_t> TakeBuffer() { return std::move(buf_); }
   size_t size() const { return buf_.size(); }
   void Reserve(size_t n) { buf_.reserve(n); }
+  // Drops the content but keeps the capacity: a long-lived Writer encodes message
+  // after message without reallocating (clear-not-reallocate).
+  void Clear() { buf_.clear(); }
 
  private:
   std::vector<uint8_t> buf_;
+};
+
+// Drop-in Writer replacement that only counts bytes. Encoding logic templated over
+// the writer type (msg::EncodedSize, smr::Command::EncodeTo) computes exact wire
+// sizes with zero allocation and zero byte shuffling.
+class SizeWriter {
+ public:
+  void U8(uint8_t) { n_ += 1; }
+  void U32(uint32_t) { n_ += 4; }
+  void U64(uint64_t) { n_ += 8; }
+  void Varint(uint64_t v) {
+    n_ += 1;
+    while (v >= 0x80) {
+      n_ += 1;
+      v >>= 7;
+    }
+  }
+  void Bool(bool) { n_ += 1; }
+  void Bytes(std::string_view s) {
+    Varint(s.size());
+    n_ += s.size();
+  }
+  void Dot(const common::Dot& d) {
+    Varint(d.proc);
+    Varint(d.seq);
+  }
+  void Deps(const common::DepSet& deps) {
+    Varint(deps.size());
+    for (const common::Dot& d : deps) {
+      Dot(d);
+    }
+  }
+
+  size_t size() const { return n_; }
+
+ private:
+  size_t n_ = 0;
 };
 
 class Reader {

@@ -1,59 +1,200 @@
 #include "src/common/dep_set.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <cstring>
 
 #include "src/common/check.h"
 
 namespace common {
 
-DepSet::DepSet(std::initializer_list<Dot> dots) : dots_(dots) {
-  std::sort(dots_.begin(), dots_.end());
-  dots_.erase(std::unique(dots_.begin(), dots_.end()), dots_.end());
+DepSet::DepSet(std::initializer_list<Dot> dots) {
+  Reserve(dots.size());
+  for (const Dot& d : dots) {
+    data_[size_++] = d;
+  }
+  SortUnique();
 }
 
-DepSet::DepSet(std::vector<Dot> dots) : dots_(std::move(dots)) {
-  std::sort(dots_.begin(), dots_.end());
-  dots_.erase(std::unique(dots_.begin(), dots_.end()), dots_.end());
+DepSet::DepSet(std::vector<Dot> dots) {
+  Reserve(dots.size());
+  for (const Dot& d : dots) {
+    data_[size_++] = d;
+  }
+  SortUnique();
+}
+
+DepSet::DepSet(const DepSet& other) {
+  Reserve(other.size_);
+  std::memcpy(data_, other.data_, other.size_ * sizeof(Dot));
+  size_ = other.size_;
+}
+
+DepSet::DepSet(DepSet&& other) noexcept {
+  if (other.IsInline()) {
+    std::memcpy(inline_, other.inline_, other.size_ * sizeof(Dot));
+    size_ = other.size_;
+  } else {
+    data_ = other.data_;
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    other.data_ = other.inline_;
+    other.capacity_ = kInlineCapacity;
+  }
+  other.size_ = 0;
+}
+
+DepSet& DepSet::operator=(const DepSet& other) {
+  if (this == &other) {
+    return *this;
+  }
+  size_ = 0;
+  Reserve(other.size_);
+  std::memcpy(data_, other.data_, other.size_ * sizeof(Dot));
+  size_ = other.size_;
+  return *this;
+}
+
+DepSet& DepSet::operator=(DepSet&& other) noexcept {
+  if (this == &other) {
+    return *this;
+  }
+  if (other.IsInline()) {
+    // Keep our buffer (it may already be big enough); just copy the few dots.
+    size_ = 0;
+    if (other.size_ > capacity_) {
+      Grow(other.size_);
+    }
+    std::memcpy(data_, other.data_, other.size_ * sizeof(Dot));
+    size_ = other.size_;
+    other.size_ = 0;
+    return *this;
+  }
+  if (!IsInline()) {
+    delete[] data_;
+  }
+  data_ = other.data_;
+  size_ = other.size_;
+  capacity_ = other.capacity_;
+  other.data_ = other.inline_;
+  other.size_ = 0;
+  other.capacity_ = kInlineCapacity;
+  return *this;
+}
+
+DepSet::~DepSet() {
+  if (!IsInline()) {
+    delete[] data_;
+  }
+}
+
+void DepSet::Grow(size_t min_capacity) {
+  size_t cap = static_cast<size_t>(capacity_) * 2;
+  if (cap < min_capacity) {
+    cap = min_capacity;
+  }
+  Dot* fresh = new Dot[cap];
+  std::memcpy(fresh, data_, size_ * sizeof(Dot));
+  if (!IsInline()) {
+    delete[] data_;
+  }
+  data_ = fresh;
+  capacity_ = static_cast<uint32_t>(cap);
+}
+
+void DepSet::SortUnique() {
+  std::sort(data_, data_ + size_);
+  Dot* last = std::unique(data_, data_ + size_);
+  size_ = static_cast<uint32_t>(last - data_);
 }
 
 void DepSet::Insert(const Dot& d) {
-  auto it = std::lower_bound(dots_.begin(), dots_.end(), d);
-  if (it != dots_.end() && *it == d) {
+  Dot* it = std::lower_bound(data_, data_ + size_, d);
+  if (it != data_ + size_ && *it == d) {
     return;
   }
-  dots_.insert(it, d);
+  size_t pos = static_cast<size_t>(it - data_);
+  if (size_ == capacity_) {
+    Grow(size_ + 1);
+  }
+  std::memmove(data_ + pos + 1, data_ + pos, (size_ - pos) * sizeof(Dot));
+  data_[pos] = d;
+  size_++;
 }
 
 bool DepSet::Contains(const Dot& d) const {
-  return std::binary_search(dots_.begin(), dots_.end(), d);
+  return std::binary_search(data_, data_ + size_, d);
 }
 
 void DepSet::Remove(const Dot& d) {
-  auto it = std::lower_bound(dots_.begin(), dots_.end(), d);
-  if (it != dots_.end() && *it == d) {
-    dots_.erase(it);
+  Dot* it = std::lower_bound(data_, data_ + size_, d);
+  if (it != data_ + size_ && *it == d) {
+    std::memmove(it, it + 1, (size_ - (it - data_) - 1) * sizeof(Dot));
+    size_--;
   }
 }
 
 void DepSet::UnionWith(const DepSet& other) {
-  if (other.empty()) {
+  if (other.size_ == 0) {
     return;
   }
-  std::vector<Dot> merged;
-  merged.reserve(dots_.size() + other.dots_.size());
-  std::set_union(dots_.begin(), dots_.end(), other.dots_.begin(), other.dots_.end(),
-                 std::back_inserter(merged));
-  dots_ = std::move(merged);
+  if (size_ == 0) {
+    *this = other;
+    return;
+  }
+  // Count duplicates so the merged size is known up front.
+  size_t dup = 0;
+  {
+    const Dot* a = data_;
+    const Dot* ae = data_ + size_;
+    const Dot* b = other.data_;
+    const Dot* be = other.data_ + other.size_;
+    while (a != ae && b != be) {
+      if (*a < *b) {
+        ++a;
+      } else if (*b < *a) {
+        ++b;
+      } else {
+        ++dup;
+        ++a;
+        ++b;
+      }
+    }
+  }
+  size_t merged = size_ + other.size_ - dup;
+  if (merged > capacity_) {
+    Grow(merged);
+  }
+  // Merge backwards in place: writes land at indices >= the unread portion of data_,
+  // so nothing is clobbered before it is read.
+  size_t i = size_;
+  size_t j = other.size_;
+  size_t k = merged;
+  while (j > 0) {
+    if (i > 0 && other.data_[j - 1] < data_[i - 1]) {
+      data_[--k] = data_[--i];
+    } else if (i > 0 && data_[i - 1] == other.data_[j - 1]) {
+      data_[--k] = data_[--i];
+      --j;
+    } else {
+      data_[--k] = other.data_[--j];
+    }
+  }
+  // Remaining data_[0..i) is already in place.
+  size_ = static_cast<uint32_t>(merged);
+}
+
+bool operator==(const DepSet& a, const DepSet& b) {
+  // Element-wise (not memcmp): Dot has internal padding with unspecified content.
+  return a.size_ == b.size_ && std::equal(a.data_, a.data_ + a.size_, b.data_);
 }
 
 std::string DepSet::ToString() const {
   std::string out = "{";
-  for (size_t i = 0; i < dots_.size(); i++) {
+  for (size_t i = 0; i < size_; i++) {
     if (i > 0) {
       out += ",";
     }
-    out += common::ToString(dots_[i]);
+    out += common::ToString(data_[i]);
   }
   out += "}";
   return out;
@@ -61,15 +202,18 @@ std::string DepSet::ToString() const {
 
 namespace {
 
-// Merge all replies into a (dot, count) list in one pass over sorted vectors.
-// Reply sets are tiny, so a simple k-way merge via repeated two-way merging is fine.
-std::vector<std::pair<Dot, uint32_t>> CountOccurrences(const std::vector<DepSet>& replies) {
-  std::vector<std::pair<Dot, uint32_t>> counts;
+// Merge all replies into a sorted (dot, count) list in `scratch.counts` in one pass
+// over sorted arrays. Reply sets are tiny, so a simple k-way merge via repeated
+// two-way merging into the ping-pong buffer is fine; both buffers are reused across
+// calls, so the steady state allocates nothing.
+void CountOccurrences(const std::vector<DepSet>& replies, DepScratch& scratch) {
+  auto& counts = scratch.counts;
+  auto& merged = scratch.merged;
+  counts.clear();
   for (const DepSet& r : replies) {
-    std::vector<std::pair<Dot, uint32_t>> merged;
-    merged.reserve(counts.size() + r.size());
+    merged.clear();
     auto ai = counts.begin();
-    auto bi = r.begin();
+    const Dot* bi = r.begin();
     while (ai != counts.end() && bi != r.end()) {
       if (ai->first < *bi) {
         merged.push_back(*ai++);
@@ -85,66 +229,130 @@ std::vector<std::pair<Dot, uint32_t>> CountOccurrences(const std::vector<DepSet>
     for (; bi != r.end(); ++bi) {
       merged.emplace_back(*bi, 1);
     }
-    counts = std::move(merged);
+    counts.swap(merged);
   }
-  return counts;
+}
+
+// Returns the reporter count recorded for proc, or 0.
+uint32_t ProcCount(const std::vector<std::pair<ProcessId, uint32_t>>& proc_counts,
+                   ProcessId proc) {
+  for (const auto& [p, c] : proc_counts) {
+    if (p == proc) {
+      return c;
+    }
+  }
+  return 0;
 }
 
 }  // namespace
 
-DepSet Union(const std::vector<DepSet>& replies) {
-  DepSet out;
+void UnionInto(const std::vector<DepSet>& replies, DepSet& out) {
+  out.clear();
   for (const DepSet& r : replies) {
     out.UnionWith(r);
   }
-  return out;
 }
 
-DepSet ThresholdUnion(const std::vector<DepSet>& replies, size_t threshold) {
+void ThresholdUnionInto(const std::vector<DepSet>& replies, size_t threshold,
+                        DepScratch& scratch, DepSet& out) {
   CHECK_GE(threshold, 1u);
-  std::vector<Dot> kept;
-  for (const auto& [dot, count] : CountOccurrences(replies)) {
+  CountOccurrences(replies, scratch);
+  out.clear();
+  out.Reserve(scratch.counts.size());
+  for (const auto& [dot, count] : scratch.counts) {
     if (count >= threshold) {
-      kept.push_back(dot);
+      out.Insert(dot);  // counts are sorted: appends at the back, O(1)
     }
   }
-  return DepSet(std::move(kept));
 }
 
-DepSet ThresholdUnionByProc(const std::vector<DepSet>& replies, size_t threshold) {
+void ThresholdUnionByProcInto(const std::vector<DepSet>& replies, size_t threshold,
+                              DepScratch& scratch, DepSet& out) {
   CHECK_GE(threshold, 1u);
   // Count, per originating process, how many replies mention at least one of its
-  // dots (a reply with several dots of one process counts once).
-  std::unordered_map<ProcessId, uint32_t> proc_counts;
+  // dots (a reply with several dots of one process counts once). The process universe
+  // is tiny (n <= 32), so a flat vector beats a hash map.
+  auto& proc_counts = scratch.proc_counts;
+  proc_counts.clear();
   for (const DepSet& r : replies) {
-    std::unordered_map<ProcessId, bool> seen;
     for (const Dot& d : r) {
-      if (!seen[d.proc]) {
-        seen[d.proc] = true;
-        proc_counts[d.proc]++;
+      // Count d.proc once per reply: skip if an earlier dot of this reply already
+      // carried it (dots are sorted by (seq, proc), so same-proc dots need a scan;
+      // reply sets are tiny).
+      bool earlier_in_reply = false;
+      for (const Dot& e : r) {
+        if (&e == &d) {
+          break;
+        }
+        if (e.proc == d.proc) {
+          earlier_in_reply = true;
+          break;
+        }
+      }
+      if (earlier_in_reply) {
+        continue;
+      }
+      bool found = false;
+      for (auto& [p, c] : proc_counts) {
+        if (p == d.proc) {
+          c++;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        proc_counts.emplace_back(d.proc, 1);
       }
     }
   }
-  std::vector<Dot> kept;
-  for (const auto& [dot, count] : CountOccurrences(replies)) {
-    if (proc_counts[dot.proc] >= threshold) {
-      kept.push_back(dot);
+  CountOccurrences(replies, scratch);
+  out.clear();
+  out.Reserve(scratch.counts.size());
+  for (const auto& [dot, count] : scratch.counts) {
+    if (ProcCount(proc_counts, dot.proc) >= threshold) {
+      out.Insert(dot);
     }
   }
-  return DepSet(std::move(kept));
 }
 
-bool FastPathCondition(const std::vector<DepSet>& replies, size_t threshold) {
+bool FastPathCondition(const std::vector<DepSet>& replies, size_t threshold,
+                       DepScratch& scratch) {
   if (threshold <= 1) {
     // Every id trivially appears at least once; the condition always holds (Atlas f=1).
     return true;
   }
-  for (const auto& [dot, count] : CountOccurrences(replies)) {
+  CountOccurrences(replies, scratch);
+  for (const auto& [dot, count] : scratch.counts) {
     if (count < threshold) {
       return false;
     }
   }
   return true;
+}
+
+DepSet Union(const std::vector<DepSet>& replies) {
+  DepSet out;
+  UnionInto(replies, out);
+  return out;
+}
+
+DepSet ThresholdUnion(const std::vector<DepSet>& replies, size_t threshold) {
+  DepScratch scratch;
+  DepSet out;
+  ThresholdUnionInto(replies, threshold, scratch, out);
+  return out;
+}
+
+DepSet ThresholdUnionByProc(const std::vector<DepSet>& replies, size_t threshold) {
+  DepScratch scratch;
+  DepSet out;
+  ThresholdUnionByProcInto(replies, threshold, scratch, out);
+  return out;
+}
+
+bool FastPathCondition(const std::vector<DepSet>& replies, size_t threshold) {
+  DepScratch scratch;
+  return FastPathCondition(replies, threshold, scratch);
 }
 
 }  // namespace common

@@ -1,15 +1,21 @@
-// DepSet: a set of command identifiers (Dots) stored as a sorted vector.
+// DepSet: a set of command identifiers (Dots) stored as a sorted flat array with
+// inline small-buffer storage.
 //
 // Dependency sets are small on the benchmarked workloads (a handful of dots), so a
-// sorted flat vector beats tree/hash sets on both time and space. All Atlas set algebra
-// lives here: plain union, the f-threshold union (union over ids reported by at least f
-// quorum members, §3.2.4), and majority-intersection helpers used by recovery.
+// sorted flat array beats tree/hash sets on both time and space — and the first
+// kInlineCapacity dots live inside the DepSet itself, so the common case performs no
+// heap allocation at all (construction, copies, unions, message encode/decode). All
+// Atlas set algebra lives here: plain union, the f-threshold union (union over ids
+// reported by at least f quorum members, §3.2.4), and majority-intersection helpers
+// used by recovery. The *Into variants take caller-provided scratch so steady-state
+// protocol processing is allocation-free.
 #ifndef SRC_COMMON_DEP_SET_H_
 #define SRC_COMMON_DEP_SET_H_
 
 #include <cstdint>
 #include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/types.h"
@@ -18,38 +24,71 @@ namespace common {
 
 class DepSet {
  public:
+  // Covers the vast majority of dependency sets on the paper's workloads (compressed
+  // index, f<=2): sizeof(DepSet) stays at one cache line pair (80 bytes).
+  static constexpr uint32_t kInlineCapacity = 4;
+
   DepSet() = default;
   DepSet(std::initializer_list<Dot> dots);
-  explicit DepSet(std::vector<Dot> dots);  // takes ownership; sorts and dedups
+  explicit DepSet(std::vector<Dot> dots);  // sorts and dedups
+  DepSet(const DepSet& other);
+  DepSet(DepSet&& other) noexcept;
+  DepSet& operator=(const DepSet& other);
+  DepSet& operator=(DepSet&& other) noexcept;
+  ~DepSet();
 
   void Insert(const Dot& d);
   bool Contains(const Dot& d) const;
   void UnionWith(const DepSet& other);
   void Remove(const Dot& d);
 
-  bool empty() const { return dots_.empty(); }
-  size_t size() const { return dots_.size(); }
-  void clear() { dots_.clear(); }
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  void clear() { size_ = 0; }
+  // Pre-sizes the backing array (decode path); contents are unchanged.
+  void Reserve(size_t n) {
+    if (n > capacity_) {
+      Grow(n);
+    }
+  }
 
-  const std::vector<Dot>& dots() const { return dots_; }
-  std::vector<Dot>::const_iterator begin() const { return dots_.begin(); }
-  std::vector<Dot>::const_iterator end() const { return dots_.end(); }
+  const Dot* dots() const { return data_; }
+  const Dot* begin() const { return data_; }
+  const Dot* end() const { return data_ + size_; }
 
-  friend bool operator==(const DepSet& a, const DepSet& b) { return a.dots_ == b.dots_; }
+  friend bool operator==(const DepSet& a, const DepSet& b);
   friend bool operator!=(const DepSet& a, const DepSet& b) { return !(a == b); }
 
   std::string ToString() const;
 
  private:
-  std::vector<Dot> dots_;  // sorted, unique
+  bool IsInline() const { return data_ == inline_; }
+  void Grow(size_t min_capacity);
+  void SortUnique();
+
+  // Sorted, unique. data_ points at inline_ until the set spills to the heap.
+  Dot* data_ = inline_;
+  uint32_t size_ = 0;
+  uint32_t capacity_ = kInlineCapacity;
+  Dot inline_[kInlineCapacity];
 };
 
-// Plain union of all reply sets.
-DepSet Union(const std::vector<DepSet>& replies);
+// Reusable scratch for the set-algebra helpers below: callers that process one quorum
+// reply set after another (the engines) keep one of these per engine and pay zero
+// steady-state allocations.
+struct DepScratch {
+  std::vector<std::pair<Dot, uint32_t>> counts;
+  std::vector<std::pair<Dot, uint32_t>> merged;
+  std::vector<std::pair<ProcessId, uint32_t>> proc_counts;
+};
 
-// Threshold union: ids that appear in at least `threshold` of the reply sets
-// (the paper's  ∪_f Q dep  with threshold = f).
-DepSet ThresholdUnion(const std::vector<DepSet>& replies, size_t threshold);
+// Plain union of all reply sets, accumulated into `out` (cleared first).
+void UnionInto(const std::vector<DepSet>& replies, DepSet& out);
+
+// Threshold union into `out`: ids that appear in at least `threshold` of the reply
+// sets (the paper's ∪_f Q dep with threshold = f).
+void ThresholdUnionInto(const std::vector<DepSet>& replies, size_t threshold,
+                        DepScratch& scratch, DepSet& out);
 
 // Alias-aware threshold union used for slow-path dependency pruning (§4) under
 // dependency compression: replies may report *different* dots of the same
@@ -59,10 +98,18 @@ DepSet ThresholdUnion(const std::vector<DepSet>& replies, size_t threshold);
 // originating process and keeping every dot of processes reported by >= threshold
 // replies is strictly more conservative than the per-dot rule (any dot the plain rule
 // keeps is kept here), hence sound in both index modes.
-DepSet ThresholdUnionByProc(const std::vector<DepSet>& replies, size_t threshold);
+void ThresholdUnionByProcInto(const std::vector<DepSet>& replies, size_t threshold,
+                              DepScratch& scratch, DepSet& out);
 
 // True iff Union(replies) == ThresholdUnion(replies, threshold): the Atlas fast-path
-// condition (Algorithm 1, line 15). Computed in one pass.
+// condition (Algorithm 1, line 15). Computed in one pass over `scratch`.
+bool FastPathCondition(const std::vector<DepSet>& replies, size_t threshold,
+                       DepScratch& scratch);
+
+// Allocating conveniences (tests, non-hot paths).
+DepSet Union(const std::vector<DepSet>& replies);
+DepSet ThresholdUnion(const std::vector<DepSet>& replies, size_t threshold);
+DepSet ThresholdUnionByProc(const std::vector<DepSet>& replies, size_t threshold);
 bool FastPathCondition(const std::vector<DepSet>& replies, size_t threshold);
 
 }  // namespace common

@@ -1,0 +1,112 @@
+// DenseDotSet: membership set for Dots backed by one bitmap per process, with a
+// hash-set overflow for outliers.
+//
+// Dot sequence numbers are allocated densely from 1 by each process, so a bitmap
+// indexed by seq is both smaller and much faster than a node-based hash set — and,
+// crucially for the allocation-free hot path, inserting a dot performs no per-element
+// heap allocation (the per-process bitmaps grow amortized, like a vector).
+//
+// Dots can arrive from the network, so bitmap growth is bounded: a dot whose proc or
+// seq is far beyond what has been seen (e.g. a malformed message claiming seq 2^60)
+// is stored in the overflow hash set instead of resizing the bitmap. Memory therefore
+// stays proportional to the number of inserted dots, never to their magnitude —
+// malformed input cannot OOM a replica.
+#ifndef SRC_COMMON_DOT_SET_H_
+#define SRC_COMMON_DOT_SET_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace common {
+
+class DenseDotSet {
+ public:
+  bool Contains(const Dot& d) const {
+    if (d.proc < bits_.size()) {
+      const std::vector<uint64_t>& words = bits_[d.proc];
+      size_t word = static_cast<size_t>(d.seq >> 6);
+      if (word < words.size()) {
+        return (words[word] >> (d.seq & 63)) & 1;
+      }
+    }
+    return !overflow_.empty() && overflow_.count(d) > 0;
+  }
+
+  // Returns true if the dot was newly inserted.
+  bool Insert(const Dot& d) {
+    if (!InDenseRange(d)) {
+      if (!overflow_.insert(d).second) {
+        return false;
+      }
+      size_++;
+      return true;
+    }
+    if (d.proc >= bits_.size()) {
+      bits_.resize(d.proc + 1);
+    }
+    std::vector<uint64_t>& words = bits_[d.proc];
+    size_t word = static_cast<size_t>(d.seq >> 6);
+    if (word >= words.size()) {
+      // Grow geometrically so repeated inserts of increasing seqs stay amortized O(1).
+      size_t cap = words.size() * 2;
+      words.resize(word + 1 > cap ? word + 1 : cap, 0);
+    }
+    uint64_t mask = 1ull << (d.seq & 63);
+    if (words[word] & mask) {
+      return false;
+    }
+    words[word] |= mask;
+    size_++;
+    return true;
+  }
+
+  void Erase(const Dot& d) {
+    if (d.proc < bits_.size()) {
+      std::vector<uint64_t>& words = bits_[d.proc];
+      size_t word = static_cast<size_t>(d.seq >> 6);
+      if (word < words.size()) {
+        uint64_t mask = 1ull << (d.seq & 63);
+        if (words[word] & mask) {
+          words[word] &= ~mask;
+          size_--;
+        }
+        return;
+      }
+    }
+    if (overflow_.erase(d) > 0) {
+      size_--;
+    }
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  // Accept into the bitmap only dots near the already-covered range: any process id
+  // a real deployment can have (quorum masks cap n at 32), and seqs within a
+  // bounded step past the current per-process high-water mark. Everything else —
+  // i.e. adversarial or corrupt dots — goes to the overflow hash set.
+  bool InDenseRange(const Dot& d) const {
+    if (d.proc >= kMaxDenseProcs) {
+      return false;
+    }
+    size_t word = static_cast<size_t>(d.seq >> 6);
+    size_t covered =
+        d.proc < bits_.size() ? bits_[d.proc].size() : 0;
+    return word <= covered * 2 + kSlackWords;
+  }
+
+  static constexpr uint32_t kMaxDenseProcs = 64;
+  static constexpr size_t kSlackWords = 1024;  // 64Ki seqs of headroom per process
+
+  std::vector<std::vector<uint64_t>> bits_;  // bits_[proc][seq/64]
+  std::unordered_set<Dot, DotHash> overflow_;
+  size_t size_ = 0;
+};
+
+}  // namespace common
+
+#endif  // SRC_COMMON_DOT_SET_H_

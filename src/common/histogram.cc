@@ -1,7 +1,6 @@
 #include "src/common/histogram.h"
 
 #include <algorithm>
-#include <bit>
 #include <cstdio>
 
 #include "src/common/check.h"
@@ -21,7 +20,7 @@ int Histogram::BucketIndex(int64_t v) {
   // Group g >= 1 covers [kSubBuckets * 2^(g-1), kSubBuckets * 2^g) with kSubBuckets
   // linear sub-buckets of width 2^(g-1) each; groups tile contiguously from index
   // kSubBuckets.
-  int msb = 63 - std::countl_zero(u);
+  int msb = 63 - __builtin_clzll(u);  // u >= kSubBuckets > 0 here (C++17: no <bit>)
   int group = msb - kSubBucketBits + 1;
   int sub = static_cast<int>(u >> (group - 1)) - kSubBuckets;
   int index = group * kSubBuckets + sub;

@@ -3,7 +3,6 @@
 #ifndef SRC_COMMON_QUORUM_H_
 #define SRC_COMMON_QUORUM_H_
 
-#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -32,16 +31,33 @@ class Quorum {
   }
   void Remove(ProcessId p) { mask_ &= ~(1u << p); }
   bool Contains(ProcessId p) const { return (mask_ >> p) & 1u; }
-  size_t size() const { return static_cast<size_t>(std::popcount(mask_)); }
+  size_t size() const { return static_cast<size_t>(__builtin_popcount(mask_)); }
   bool empty() const { return mask_ == 0; }
   uint32_t mask() const { return mask_; }
 
   Quorum Intersect(const Quorum& other) const { return Quorum(mask_ & other.mask_); }
 
+  // Allocation-free member iteration (ascending process id): `for (ProcessId p : q)`.
+  class Iterator {
+   public:
+    explicit Iterator(uint32_t mask) : mask_(mask) {}
+    ProcessId operator*() const { return static_cast<ProcessId>(__builtin_ctz(mask_)); }
+    Iterator& operator++() {
+      mask_ &= mask_ - 1;
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const { return mask_ != other.mask_; }
+
+   private:
+    uint32_t mask_;
+  };
+  Iterator begin() const { return Iterator(mask_); }
+  Iterator end() const { return Iterator(0); }
+
   std::vector<ProcessId> Members() const {
     std::vector<ProcessId> out;
     for (uint32_t m = mask_; m != 0; m &= m - 1) {
-      out.push_back(static_cast<ProcessId>(std::countr_zero(m)));
+      out.push_back(static_cast<ProcessId>(__builtin_ctz(m)));
     }
     return out;
   }

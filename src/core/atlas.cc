@@ -99,18 +99,17 @@ void AtlasEngine::Submit(smr::Command cmd) {
   info.locally_submitted = true;
   info.submitted_cmd = cmd;
 
-  DepSet past = index_->Conflicts(cmd, dot);  // line 3
-  Quorum q = PickFastQuorum(nfr);             // line 4
+  Quorum q = PickFastQuorum(nfr);  // line 4
 
   msg::MCollect collect;
   collect.dot = dot;
   collect.cmd = std::move(cmd);
-  collect.past = std::move(past);
+  index_->CollectInto(collect.cmd, dot, collect.past);  // line 3
   collect.quorum = q;
   collect.nfr = nfr;
   // Line 5: send MCollect to the fast quorum (self-delivery is inline and runs the
   // MCollect handler below, which stores the command and acks).
-  for (ProcessId p : q.Members()) {
+  for (ProcessId p : q) {
     if (p != self_) {
       SendTo(p, collect);
     }
@@ -126,15 +125,15 @@ void AtlasEngine::HandleMCollect(ProcessId from, const msg::MCollect& m) {
   if (info.phase != Phase::kStart) {  // precondition, line 7
     return;
   }
-  // Line 8: dep[id] <- conflicts(c) ∪ past.
-  DepSet deps = index_->Conflicts(m.cmd, m.dot);
-  deps.UnionWith(m.past);
+  // Line 8: dep[id] <- conflicts(c) ∪ past, collected straight into the per-command
+  // state (no temporary set).
+  index_->CollectInto(m.cmd, m.dot, info.deps);
+  info.deps.UnionWith(m.past);
   // NFR reads are excluded from dependency tracking (they can never block a later
   // command), so they are not recorded in the conflict index (§4).
   if (!m.nfr) {
     index_->Record(m.dot, m.cmd);
   }
-  info.deps = std::move(deps);
   info.cmd = m.cmd;          // line 9
   info.quorum = m.quorum;
   info.nfr = m.nfr;
@@ -168,17 +167,17 @@ void AtlasEngine::FinishCollect(const Dot& dot, Info& info) {
   if (info.nfr) {
     // NFR (§4): commit immediately after one round trip to a majority, taking the plain
     // union of the reported dependencies.
-    DepSet deps = common::Union(info.collect_deps);
+    common::UnionInto(info.collect_deps, scratch_deps_);
     stats_.fast_paths++;
-    CommitAndBroadcast(dot, info, info.cmd, deps, /*fast_path=*/true);
+    CommitAndBroadcast(dot, info, info.cmd, scratch_deps_, /*fast_path=*/true);
     return;
   }
   // Line 15: fast path iff every reported dependency was reported by >= f quorum
   // members (∪Q dep == ∪fQ dep).
-  if (common::FastPathCondition(info.collect_deps, config_.f)) {
-    DepSet deps = common::Union(info.collect_deps);  // line 14
+  if (common::FastPathCondition(info.collect_deps, config_.f, dep_scratch_)) {
+    common::UnionInto(info.collect_deps, scratch_deps_);  // line 14
     stats_.fast_paths++;
-    CommitAndBroadcast(dot, info, info.cmd, deps, /*fast_path=*/true);  // line 16
+    CommitAndBroadcast(dot, info, info.cmd, scratch_deps_, /*fast_path=*/true);  // line 16
     return;
   }
   // Slow path (lines 17-19). With the §4 pruning optimization the coordinator proposes
@@ -188,16 +187,16 @@ void AtlasEngine::FinishCollect(const Dot& dot, Info& info) {
   // may report different aliases of one conflict chain, so the counting must be
   // per originating process instead (see ThresholdUnionByProc and DESIGN.md §7).
   stats_.slow_paths++;
-  DepSet deps;
   if (!config_.prune_slow_path) {
-    deps = common::Union(info.collect_deps);
+    common::UnionInto(info.collect_deps, scratch_deps_);
   } else if (config_.index_mode == smr::IndexMode::kFull) {
-    deps = common::ThresholdUnion(info.collect_deps, config_.f);
+    common::ThresholdUnionInto(info.collect_deps, config_.f, dep_scratch_,
+                               scratch_deps_);
   } else {
-    deps = common::ThresholdUnionByProc(info.collect_deps, config_.f);
+    common::ThresholdUnionByProcInto(info.collect_deps, config_.f, dep_scratch_,
+                                     scratch_deps_);
   }
-  ProposeConsensus(dot, info, info.cmd, std::move(deps),
-                   common::InitialBallot(self_));
+  ProposeConsensus(dot, info, info.cmd, scratch_deps_, common::InitialBallot(self_));
 }
 
 // ---------------------------------------------------------------------------
@@ -215,7 +214,7 @@ void AtlasEngine::ProposeConsensus(const Dot& dot, Info& info, const smr::Comman
   prop.ballot = ballot;
   if (ballot == common::InitialBallot(self_)) {
     // Initial coordinator: Paxos phase 2 to a slow quorum of f+1 (line 18-19).
-    for (ProcessId p : PickSlowQuorum().Members()) {
+    for (ProcessId p : PickSlowQuorum()) {
       if (p != self_) {
         SendTo(p, prop);
       }
@@ -389,8 +388,8 @@ void AtlasEngine::HandleMRec(ProcessId from, const msg::MRec& m) {
     return;
   }
   if (info.bal == 0 && info.phase == Phase::kStart) {  // line 39
-    info.deps = index_->Conflicts(m.cmd, m.dot);  // line 40
-    info.cmd = m.cmd;                             // line 41
+    index_->CollectInto(m.cmd, m.dot, info.deps);  // line 40
+    info.cmd = m.cmd;                              // line 41
     if (!NfrRead(m.cmd)) {
       index_->Record(m.dot, m.cmd);
     }

@@ -114,6 +114,10 @@ class AtlasEngine final : public smr::Engine {
   Config config_;
   std::unique_ptr<smr::ConflictIndex> index_;
   exec::GraphExecutor executor_;
+  // Reusable scratch for quorum-reply set algebra and conflict collection: the
+  // steady-state submit/collect/commit path performs no heap allocation.
+  common::DepScratch dep_scratch_;
+  common::DepSet scratch_deps_;
 
   uint64_t next_seq_ = 1;
   std::unordered_map<common::Dot, Info, common::DotHash> infos_;

@@ -78,11 +78,11 @@ void EPaxosEngine::Submit(smr::Command cmd) {
   msg::EpPreAccept pre;
   pre.dot = dot;
   pre.cmd = std::move(cmd);
-  pre.deps = index_->Conflicts(pre.cmd, dot);
+  index_->CollectInto(pre.cmd, dot, pre.deps);
   pre.seqno = MaxConflictSeq(pre.deps) + 1;
   pre.quorum = q;
   pre.nfr = nfr;
-  for (ProcessId p : q.Members()) {
+  for (ProcessId p : q) {
     if (p != self_) {
       SendTo(p, pre);
     }
@@ -95,23 +95,23 @@ void EPaxosEngine::HandlePreAccept(ProcessId from, const msg::EpPreAccept& m) {
   if (info.phase != Phase::kNone || info.bal != 0) {
     return;  // already moved past pre-accept (e.g. recovery touched this id)
   }
-  // Merge the leader's deps/seq with the local view.
-  DepSet deps = index_->Conflicts(m.cmd, m.dot);
-  deps.UnionWith(m.deps);
-  uint64_t seqno = std::max(m.seqno, MaxConflictSeq(deps) + 1);
+  // Merge the leader's deps/seq with the local view, straight into the per-command
+  // state (no temporary set).
+  index_->CollectInto(m.cmd, m.dot, info.deps);
+  info.deps.UnionWith(m.deps);
+  uint64_t seqno = std::max(m.seqno, MaxConflictSeq(info.deps) + 1);
   if (!m.nfr) {
     index_->Record(m.dot, m.cmd);
     seqnos_[m.dot] = seqno;
   }
   info.phase = Phase::kPreAccepted;
   info.cmd = m.cmd;
-  info.deps = deps;
   info.seqno = seqno;
   info.quorum = m.quorum;
   info.nfr = m.nfr;
   msg::EpPreAcceptAck ack;
   ack.dot = m.dot;
-  ack.deps = std::move(deps);
+  ack.deps = info.deps;
   ack.seqno = seqno;
   SendTo(from, ack);
 }
@@ -186,7 +186,7 @@ void EPaxosEngine::RunAcceptPhase(const Dot& dot, Info& info, const smr::Command
   acc.ballot = ballot;
   // A majority acknowledgement suffices; send to the closest responsive majority.
   Quorum q = PickQuorum(config_.MajoritySize());
-  for (ProcessId p : q.Members()) {
+  for (ProcessId p : q) {
     if (p != self_) {
       SendTo(p, acc);
     }

@@ -12,7 +12,7 @@ GraphExecutor::GraphExecutor(BatchOrder order, ExecuteFn execute)
 }
 
 bool GraphExecutor::IsCommitted(const common::Dot& dot) const {
-  return executed_.count(dot) > 0 || nodes_.count(dot) > 0;
+  return executed_.Contains(dot) || nodes_.count(dot) > 0;
 }
 
 void GraphExecutor::Commit(const common::Dot& dot, smr::Command cmd, common::DepSet deps,
@@ -75,14 +75,16 @@ std::optional<common::Dot> GraphExecutor::TryExecute(const common::Dot& root) {
 
   // Iterative Tarjan over committed nodes. If any reachable dependency is uncommitted,
   // park the root on it and abort; otherwise every reachable SCC is executable and SCCs
-  // complete (pop) in reverse topological order — exactly batch order.
-  struct Frame {
-    common::Dot dot;
-    size_t dep_index = 0;
-  };
-  std::vector<Frame> stack;
-  std::vector<common::Dot> tarjan_stack;
-  std::vector<std::vector<common::Dot>> batches;
+  // complete (pop) in reverse topological order — exactly batch order. All walk state
+  // lives in member scratch vectors reused across calls (no per-commit allocation).
+  // Member scratch is not reentrancy-safe: an execute_ callback must never commit
+  // synchronously (drivers schedule follow-up work through their event loop instead).
+  CHECK(!in_walk_);
+  in_walk_ = true;
+  walk_stack_.clear();
+  tarjan_stack_.clear();
+  batch_dots_.clear();
+  batch_bounds_.clear();
   uint32_t next_index = 0;
 
   auto push_node = [&](const common::Dot& d, Node& node) {
@@ -91,18 +93,18 @@ std::optional<common::Dot> GraphExecutor::TryExecute(const common::Dot& root) {
     node.lowlink = next_index;
     node.on_stack = true;
     next_index++;
-    tarjan_stack.push_back(d);
-    stack.push_back(Frame{d, 0});
+    tarjan_stack_.push_back(d);
+    walk_stack_.push_back(Frame{d, 0});
   };
 
   push_node(root, nodes_.at(root));
 
-  while (!stack.empty()) {
-    Frame& frame = stack.back();
+  while (!walk_stack_.empty()) {
+    Frame& frame = walk_stack_.back();
     Node& node = nodes_.at(frame.dot);
     if (frame.dep_index < node.deps.size()) {
       const common::Dot& dep = node.deps.dots()[frame.dep_index++];
-      if (executed_.count(dep) > 0) {
+      if (executed_.Contains(dep)) {
         continue;
       }
       auto dep_it = nodes_.find(dep);
@@ -110,9 +112,10 @@ std::optional<common::Dot> GraphExecutor::TryExecute(const common::Dot& root) {
         // Uncommitted dependency: the batch containing root cannot form yet.
         waiters_[dep].push_back(root);
         // Clear on_stack flags for a clean next epoch (epoch check handles the rest).
-        for (const common::Dot& d : tarjan_stack) {
+        for (const common::Dot& d : tarjan_stack_) {
           nodes_.at(d).on_stack = false;
         }
+        in_walk_ = false;
         return dep;
       }
       Node& dep_node = dep_it->second;
@@ -127,40 +130,41 @@ std::optional<common::Dot> GraphExecutor::TryExecute(const common::Dot& root) {
     uint32_t lowlink = node.lowlink;
     uint32_t index = node.index;
     common::Dot done = frame.dot;
-    stack.pop_back();
-    if (!stack.empty()) {
-      Node& parent = nodes_.at(stack.back().dot);
+    walk_stack_.pop_back();
+    if (!walk_stack_.empty()) {
+      Node& parent = nodes_.at(walk_stack_.back().dot);
       parent.lowlink = std::min(parent.lowlink, lowlink);
     }
     if (lowlink == index) {
-      std::vector<common::Dot> scc;
       while (true) {
-        common::Dot d = tarjan_stack.back();
-        tarjan_stack.pop_back();
+        common::Dot d = tarjan_stack_.back();
+        tarjan_stack_.pop_back();
         nodes_.at(d).on_stack = false;
-        scc.push_back(d);
+        batch_dots_.push_back(d);
         if (d == done) {
           break;
         }
       }
-      batches.push_back(std::move(scc));
+      batch_bounds_.push_back(batch_dots_.size());
     }
   }
 
   // SCCs completed in reverse topological order (dependencies first): execute in that
-  // order.
-  for (auto& batch : batches) {
-    RunBatch(batch);
+  // order. The flattened scratch stays valid because RunBatch only sorts in place.
+  size_t begin = 0;
+  for (size_t bound : batch_bounds_) {
+    RunBatch(batch_dots_.data() + begin, batch_dots_.data() + bound);
+    begin = bound;
   }
+  in_walk_ = false;
   return std::nullopt;
 }
 
-void GraphExecutor::RunBatch(std::vector<common::Dot>& batch) {
+void GraphExecutor::RunBatch(common::Dot* begin, common::Dot* end) {
   if (order_ == BatchOrder::kDot) {
-    std::sort(batch.begin(), batch.end());
+    std::sort(begin, end);
   } else {
-    std::sort(batch.begin(), batch.end(), [this](const common::Dot& a,
-                                                 const common::Dot& b) {
+    std::sort(begin, end, [this](const common::Dot& a, const common::Dot& b) {
       const Node& na = nodes_.at(a);
       const Node& nb = nodes_.at(b);
       if (na.seqno != nb.seqno) {
@@ -169,12 +173,13 @@ void GraphExecutor::RunBatch(std::vector<common::Dot>& batch) {
       return a < b;
     });
   }
-  max_batch_ = std::max(max_batch_, batch.size());
-  for (const common::Dot& d : batch) {
+  max_batch_ = std::max(max_batch_, static_cast<size_t>(end - begin));
+  for (common::Dot* cur = begin; cur != end; ++cur) {
+    const common::Dot& d = *cur;
     auto it = nodes_.find(d);
     CHECK(it != nodes_.end());
     execute_(d, it->second.cmd);
-    executed_.insert(d);
+    executed_.Insert(d);
     executed_count_++;
     nodes_.erase(it);
     CHECK_GT(pending_count_, 0u);

@@ -22,10 +22,10 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/common/dep_set.h"
+#include "src/common/dot_set.h"
 #include "src/common/types.h"
 #include "src/smr/command.h"
 
@@ -48,7 +48,7 @@ class GraphExecutor {
               uint64_t seqno = 0);
 
   bool IsCommitted(const common::Dot& dot) const;
-  bool IsExecuted(const common::Dot& dot) const { return executed_.count(dot) > 0; }
+  bool IsExecuted(const common::Dot& dot) const { return executed_.Contains(dot); }
 
   // Committed-but-not-yet-executed commands (blocked on missing dependencies).
   size_t PendingCount() const { return pending_count_; }
@@ -71,13 +71,15 @@ class GraphExecutor {
   // Attempts to execute the SCC closure reachable from root. Returns nullopt on
   // success, or the first uncommitted dependency encountered (root is parked on it).
   std::optional<common::Dot> TryExecute(const common::Dot& root);
-  void RunBatch(std::vector<common::Dot>& batch);
+  void RunBatch(common::Dot* begin, common::Dot* end);
 
   BatchOrder order_;
   ExecuteFn execute_;
 
   std::unordered_map<common::Dot, Node, common::DotHash> nodes_;  // committed, pending
-  std::unordered_set<common::Dot, common::DotHash> executed_;
+  // Executed dots are dense per process, so a bitmap set beats a node-based hash set
+  // and inserts without per-element allocation (the execute hot path).
+  common::DenseDotSet executed_;
   // dep dot -> dots whose execution attempt parked on it.
   std::unordered_map<common::Dot, std::vector<common::Dot>, common::DotHash> waiters_;
 
@@ -87,6 +89,19 @@ class GraphExecutor {
   size_t max_batch_ = 0;
   // Dots whose waiters must be retried (drained by Commit).
   std::vector<common::Dot> progressed_;
+
+  // Tarjan walk scratch, reused across TryExecute calls so the per-commit steady
+  // state performs no allocation (vectors keep their high-water capacity).
+  struct Frame {
+    common::Dot dot;
+    size_t dep_index = 0;
+  };
+  std::vector<Frame> walk_stack_;
+  std::vector<common::Dot> tarjan_stack_;
+  // SCCs of one walk, flattened: batch i spans batch_bounds_[i-1]..batch_bounds_[i).
+  std::vector<common::Dot> batch_dots_;
+  std::vector<size_t> batch_bounds_;
+  bool in_walk_ = false;
 };
 
 }  // namespace exec

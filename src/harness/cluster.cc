@@ -166,17 +166,19 @@ void Cluster::IssueNext(uint64_t client_index) {
   common::Duration oneway =
       ClientOneWay(c.region, opts_.site_regions[c.site]);
   common::ProcessId site = static_cast<common::ProcessId>(c.site);
-  smr::Command cmd = c.current;
-  sim_->PostIn(oneway, [this, site, cmd = std::move(cmd)]() mutable {
-    if (!sim_->IsCrashed(site)) {
-      sim_->Submit(site, std::move(cmd));
-    }
-    // If the site crashed while the request was in flight, the client's migration
-    // logic resubmits it elsewhere.
-  });
+  // Typed ClientOp event: no closure allocation per issued command. If the site
+  // crashed while the request was in flight, the submission is skipped and the
+  // client's migration logic resubmits it elsewhere.
+  sim_->PostSubmitIn(oneway, site, c.current);
   if (c.retry_timeout > 0) {
-    uint64_t seq = c.current.seq;
-    sim_->PostIn(c.retry_timeout, [this, client_index, seq]() {
+    // Pack (client_index, seq) into one word so the retry closure fits libstdc++'s
+    // inline std::function storage (16 bytes) and needs no heap allocation.
+    uint64_t packed = (client_index << 44) | c.current.seq;
+    CHECK_LT(client_index, 1u << 20);
+    CHECK_LT(c.current.seq, 1ull << 44);
+    sim_->PostIn(c.retry_timeout, [this, packed]() {
+      uint64_t client_index = packed >> 44;
+      uint64_t seq = packed & ((1ull << 44) - 1);
       Client& cl = clients_[client_index];
       if (!cl.in_flight || cl.current.seq != seq) {
         return;  // already completed or superseded
@@ -228,9 +230,10 @@ void Cluster::OnExecuted(common::ProcessId p, const common::Dot& dot,
   }
   pending_.erase(it);
   common::Duration oneway = ClientOneWay(c.region, opts_.site_regions[c.site]);
-  common::Time completion = sim_->Now() + oneway;
-  sim_->PostIn(oneway, [this, client_index, completion]() {
-    CompleteClient(client_index, completion);
+  // The completion time is exactly the event's firing time, so the closure only
+  // captures (this, client_index) — small enough for std::function's inline storage.
+  sim_->PostIn(oneway, [this, client_index]() {
+    CompleteClient(client_index, sim_->Now());
   });
 }
 

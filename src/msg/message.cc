@@ -37,9 +37,10 @@ enum class Tag : uint8_t {
   kClientReply = 26,
 };
 
-void Put(codec::Writer& w, const MCollect& m) {
+template <class W>
+void Put(W& w, const MCollect& m) {
   w.Dot(m.dot);
-  m.cmd.Encode(w);
+  m.cmd.EncodeTo(w);
   w.Deps(m.past);
   w.U32(m.quorum.mask());
   w.Bool(m.nfr);
@@ -54,7 +55,8 @@ MCollect GetMCollect(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const MCollectAck& m) {
+template <class W>
+void Put(W& w, const MCollectAck& m) {
   w.Dot(m.dot);
   w.Deps(m.deps);
 }
@@ -65,9 +67,10 @@ MCollectAck GetMCollectAck(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const MConsensus& m) {
+template <class W>
+void Put(W& w, const MConsensus& m) {
   w.Dot(m.dot);
-  m.cmd.Encode(w);
+  m.cmd.EncodeTo(w);
   w.Deps(m.deps);
   w.Varint(m.ballot);
 }
@@ -80,7 +83,8 @@ MConsensus GetMConsensus(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const MConsensusAck& m) {
+template <class W>
+void Put(W& w, const MConsensusAck& m) {
   w.Dot(m.dot);
   w.Varint(m.ballot);
 }
@@ -91,9 +95,10 @@ MConsensusAck GetMConsensusAck(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const MCommit& m) {
+template <class W>
+void Put(W& w, const MCommit& m) {
   w.Dot(m.dot);
-  m.cmd.Encode(w);
+  m.cmd.EncodeTo(w);
   w.Deps(m.deps);
 }
 MCommit GetMCommit(codec::Reader& r) {
@@ -104,9 +109,10 @@ MCommit GetMCommit(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const MRec& m) {
+template <class W>
+void Put(W& w, const MRec& m) {
   w.Dot(m.dot);
-  m.cmd.Encode(w);
+  m.cmd.EncodeTo(w);
   w.Varint(m.ballot);
 }
 MRec GetMRec(codec::Reader& r) {
@@ -117,9 +123,10 @@ MRec GetMRec(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const MRecAck& m) {
+template <class W>
+void Put(W& w, const MRecAck& m) {
   w.Dot(m.dot);
-  m.cmd.Encode(w);
+  m.cmd.EncodeTo(w);
   w.Deps(m.deps);
   w.U32(m.quorum.mask());
   w.Varint(m.accepted_ballot);
@@ -136,9 +143,10 @@ MRecAck GetMRecAck(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const EpPreAccept& m) {
+template <class W>
+void Put(W& w, const EpPreAccept& m) {
   w.Dot(m.dot);
-  m.cmd.Encode(w);
+  m.cmd.EncodeTo(w);
   w.Deps(m.deps);
   w.Varint(m.seqno);
   w.U32(m.quorum.mask());
@@ -155,7 +163,8 @@ EpPreAccept GetEpPreAccept(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const EpPreAcceptAck& m) {
+template <class W>
+void Put(W& w, const EpPreAcceptAck& m) {
   w.Dot(m.dot);
   w.Deps(m.deps);
   w.Varint(m.seqno);
@@ -168,9 +177,10 @@ EpPreAcceptAck GetEpPreAcceptAck(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const EpAccept& m) {
+template <class W>
+void Put(W& w, const EpAccept& m) {
   w.Dot(m.dot);
-  m.cmd.Encode(w);
+  m.cmd.EncodeTo(w);
   w.Deps(m.deps);
   w.Varint(m.seqno);
   w.Varint(m.ballot);
@@ -185,7 +195,8 @@ EpAccept GetEpAccept(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const EpAcceptAck& m) {
+template <class W>
+void Put(W& w, const EpAcceptAck& m) {
   w.Dot(m.dot);
   w.Varint(m.ballot);
 }
@@ -196,9 +207,10 @@ EpAcceptAck GetEpAcceptAck(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const EpCommit& m) {
+template <class W>
+void Put(W& w, const EpCommit& m) {
   w.Dot(m.dot);
-  m.cmd.Encode(w);
+  m.cmd.EncodeTo(w);
   w.Deps(m.deps);
   w.Varint(m.seqno);
 }
@@ -211,7 +223,8 @@ EpCommit GetEpCommit(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const EpPrepare& m) {
+template <class W>
+void Put(W& w, const EpPrepare& m) {
   w.Dot(m.dot);
   w.Varint(m.ballot);
 }
@@ -222,9 +235,10 @@ EpPrepare GetEpPrepare(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const EpPrepareAck& m) {
+template <class W>
+void Put(W& w, const EpPrepareAck& m) {
   w.Dot(m.dot);
-  m.cmd.Encode(w);
+  m.cmd.EncodeTo(w);
   w.Deps(m.deps);
   w.Varint(m.seqno);
   w.U8(m.phase);
@@ -245,17 +259,19 @@ EpPrepareAck GetEpPrepareAck(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const PxForward& m) { m.cmd.Encode(w); }
+template <class W>
+void Put(W& w, const PxForward& m) { m.cmd.EncodeTo(w); }
 PxForward GetPxForward(codec::Reader& r) {
   PxForward m;
   m.cmd = smr::Command::Decode(r);
   return m;
 }
 
-void Put(codec::Writer& w, const PxAccept& m) {
+template <class W>
+void Put(W& w, const PxAccept& m) {
   w.Varint(m.slot);
   w.Varint(m.ballot);
-  m.cmd.Encode(w);
+  m.cmd.EncodeTo(w);
 }
 PxAccept GetPxAccept(codec::Reader& r) {
   PxAccept m;
@@ -265,7 +281,8 @@ PxAccept GetPxAccept(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const PxAccepted& m) {
+template <class W>
+void Put(W& w, const PxAccepted& m) {
   w.Varint(m.slot);
   w.Varint(m.ballot);
 }
@@ -276,9 +293,10 @@ PxAccepted GetPxAccepted(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const PxCommit& m) {
+template <class W>
+void Put(W& w, const PxCommit& m) {
   w.Varint(m.slot);
-  m.cmd.Encode(w);
+  m.cmd.EncodeTo(w);
 }
 PxCommit GetPxCommit(codec::Reader& r) {
   PxCommit m;
@@ -287,7 +305,8 @@ PxCommit GetPxCommit(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const PxPrepare& m) {
+template <class W>
+void Put(W& w, const PxPrepare& m) {
   w.Varint(m.ballot);
   w.Varint(m.from_slot);
 }
@@ -298,13 +317,14 @@ PxPrepare GetPxPrepare(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const PxPromise& m) {
+template <class W>
+void Put(W& w, const PxPromise& m) {
   w.Varint(m.ballot);
   w.Varint(m.accepted.size());
   for (const auto& e : m.accepted) {
     w.Varint(e.slot);
     w.Varint(e.ballot);
-    e.cmd.Encode(w);
+    e.cmd.EncodeTo(w);
   }
 }
 PxPromise GetPxPromise(codec::Reader& r) {
@@ -325,7 +345,8 @@ PxPromise GetPxPromise(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const PxHeartbeat& m) {
+template <class W>
+void Put(W& w, const PxHeartbeat& m) {
   w.Varint(m.ballot);
   w.Varint(m.committed_upto);
 }
@@ -336,9 +357,10 @@ PxHeartbeat GetPxHeartbeat(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const MnPropose& m) {
+template <class W>
+void Put(W& w, const MnPropose& m) {
   w.Varint(m.slot);
-  m.cmd.Encode(w);
+  m.cmd.EncodeTo(w);
   w.Varint(m.own_next);
 }
 MnPropose GetMnPropose(codec::Reader& r) {
@@ -349,7 +371,8 @@ MnPropose GetMnPropose(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const MnAck& m) {
+template <class W>
+void Put(W& w, const MnAck& m) {
   w.Varint(m.slot);
   w.Varint(m.own_next);
 }
@@ -360,9 +383,10 @@ MnAck GetMnAck(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const MnCommit& m) {
+template <class W>
+void Put(W& w, const MnCommit& m) {
   w.Varint(m.slot);
-  m.cmd.Encode(w);
+  m.cmd.EncodeTo(w);
 }
 MnCommit GetMnCommit(codec::Reader& r) {
   MnCommit m;
@@ -371,7 +395,8 @@ MnCommit GetMnCommit(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const MnSkipRange& m) {
+template <class W>
+void Put(W& w, const MnSkipRange& m) {
   w.Varint(m.owner);
   w.Varint(m.from);
   w.Varint(m.to);
@@ -384,14 +409,16 @@ MnSkipRange GetMnSkipRange(codec::Reader& r) {
   return m;
 }
 
-void Put(codec::Writer& w, const ClientRequest& m) { m.cmd.Encode(w); }
+template <class W>
+void Put(W& w, const ClientRequest& m) { m.cmd.EncodeTo(w); }
 ClientRequest GetClientRequest(codec::Reader& r) {
   ClientRequest m;
   m.cmd = smr::Command::Decode(r);
   return m;
 }
 
-void Put(codec::Writer& w, const ClientReply& m) {
+template <class W>
+void Put(W& w, const ClientReply& m) {
   w.Varint(m.client);
   w.Varint(m.seq);
   w.Bytes(m.value);
@@ -518,8 +545,10 @@ bool Decode(codec::Reader& r, Message& out) {
 }
 
 size_t EncodedSize(const Message& m) {
-  codec::Writer w;
-  Encode(w, m);
+  // Size-only visitor: no buffer, no allocation — the simulator calls this per send.
+  codec::SizeWriter w;
+  w.U8(static_cast<uint8_t>(m.index()));
+  std::visit([&w](const auto& body) { Put(w, body); }, m);
   return w.size();
 }
 

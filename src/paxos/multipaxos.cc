@@ -107,7 +107,7 @@ void PaxosEngine::ProposeInSlot(uint64_t slot, const smr::Command& cmd) {
   acc.slot = slot;
   acc.ballot = ballot_;
   acc.cmd = cmd;
-  for (ProcessId p : Phase2Quorum().Members()) {
+  for (ProcessId p : Phase2Quorum()) {
     if (p != self_) {
       SendTo(p, acc);
     }

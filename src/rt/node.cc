@@ -199,10 +199,10 @@ void Node::Run() {
     }
     auto conn = std::make_unique<Connection>(this, fd);
     // Send peer hello.
-    codec::Writer w;
-    w.U8(kFramePeerHello);
-    w.U32(self_);
-    conn->SendFrame(w.TakeBuffer());
+    encode_scratch_.Clear();
+    encode_scratch_.U8(kFramePeerHello);
+    encode_scratch_.U32(self_);
+    conn->SendFrame(encode_scratch_.buffer());
     conn->peer_id = p;
     OnPeerConnected(p, std::move(conn));
   }
@@ -278,10 +278,13 @@ void Node::Send(common::ProcessId to, msg::Message m) {
   if (it == peer_conns_.end() || it->second == nullptr || it->second->closed()) {
     return;  // peer down; engines tolerate message loss
   }
-  codec::Writer w;
-  w.U8(kFrameMessage);
-  msg::Encode(w, m);
-  it->second->SendFrame(w.TakeBuffer());
+  // Reuse the encode scratch (clear-not-reallocate), pre-sized so Encode never
+  // reallocates mid-message; SendFrame copies into the connection's write buffer.
+  encode_scratch_.Clear();
+  encode_scratch_.Reserve(1 + msg::EncodedSize(m));
+  encode_scratch_.U8(kFrameMessage);
+  msg::Encode(encode_scratch_, m);
+  it->second->SendFrame(encode_scratch_.buffer());
 }
 
 void Node::SetTimer(common::Duration delay, uint64_t token) {
@@ -303,10 +306,10 @@ void Node::Executed(const common::Dot& dot, const smr::Command& cmd) {
   reply.client = cmd.client;
   reply.seq = cmd.seq;
   reply.value = std::move(result);
-  codec::Writer w;
-  w.U8(kFrameMessage);
-  msg::Encode(w, msg::Message{reply});
-  conn->SendFrame(w.TakeBuffer());
+  encode_scratch_.Clear();
+  encode_scratch_.U8(kFrameMessage);
+  msg::Encode(encode_scratch_, msg::Message{reply});
+  conn->SendFrame(encode_scratch_.buffer());
 }
 
 void Node::Dropped(const common::Dot& dot, const smr::Command& original) {
@@ -323,10 +326,10 @@ void Node::Dropped(const common::Dot& dot, const smr::Command& original) {
   reply.client = original.client;
   reply.seq = original.seq;
   reply.dropped = true;
-  codec::Writer w;
-  w.U8(kFrameMessage);
-  msg::Encode(w, msg::Message{reply});
-  conn->SendFrame(w.TakeBuffer());
+  encode_scratch_.Clear();
+  encode_scratch_.U8(kFrameMessage);
+  msg::Encode(encode_scratch_, msg::Message{reply});
+  conn->SendFrame(encode_scratch_.buffer());
 }
 
 void Node::Stop() { loop_.Stop(); }
@@ -374,8 +377,10 @@ bool Client::Call(const smr::Command& cmd, std::string* result_out) {
   msg::ClientRequest req;
   req.cmd = cmd;
   codec::Writer w;
+  msg::Message wrapped{std::move(req)};
+  w.Reserve(1 + msg::EncodedSize(wrapped));
   w.U8(kFrameMessage);
-  msg::Encode(w, msg::Message{req});
+  msg::Encode(w, wrapped);
   uint32_t len = static_cast<uint32_t>(w.size());
   std::vector<uint8_t> out(4);
   std::memcpy(out.data(), &len, 4);

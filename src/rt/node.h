@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/chk/checker.h"
+#include "src/codec/codec.h"
 #include "src/rt/event_loop.h"
 #include "src/smr/engine.h"
 #include "src/smr/state_machine.h"
@@ -76,6 +77,9 @@ class Node final : public smr::Context {
   std::vector<std::unique_ptr<Connection>> anonymous_;  // pre-hello + client conns
   // (client, seq) -> connection serving that client.
   std::unordered_map<chk::CmdKey, Connection*, chk::CmdKeyHash> waiting_clients_;
+  // Reused (clear-not-reallocate) encode scratch for all outbound frames; pre-sized
+  // per message via msg::EncodedSize so encoding never grows it mid-message.
+  codec::Writer encode_scratch_;
   bool engine_started_ = false;
 };
 

@@ -63,6 +63,7 @@ void Simulator::Start() {
   started_ = true;
   uint32_t n = this->n();
   last_arrival_.assign(static_cast<size_t>(n) * n, 0);
+  EnsureLinkState();
   for (uint32_t i = 0; i < n; i++) {
     engines_[i]->Bind(static_cast<common::ProcessId>(i), n, contexts_[i].get());
   }
@@ -71,13 +72,41 @@ void Simulator::Start() {
   }
 }
 
-void Simulator::Post(common::Time t, std::function<void()> fn) {
+void Simulator::EnsureLinkState() {
+  CHECK_GT(n(), 0u);  // links can only be configured once engines are registered
+  size_t want = static_cast<size_t>(n()) * n();
+  if (link_down_.size() != want) {
+    CHECK_EQ(link_down_.size(), 0u);  // links are configured after all AddEngine calls
+    link_down_.assign(want, 0);
+    link_extra_delay_.assign(want, 0);
+  }
+}
+
+void Simulator::PostEvent(common::Time t, Payload payload) {
   CHECK_GE(t, now_);
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.push_back(std::move(payload));
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(payload);
+  }
+  queue_.push(Event{t, next_seq_++, slot});
+}
+
+void Simulator::Post(common::Time t, std::function<void()> fn) {
+  PostEvent(t, ClosureEvent{std::move(fn)});
 }
 
 void Simulator::PostIn(common::Duration delay, std::function<void()> fn) {
   Post(now_ + delay, std::move(fn));
+}
+
+void Simulator::PostSubmitIn(common::Duration delay, common::ProcessId p,
+                             smr::Command cmd) {
+  PostEvent(now_ + delay, ClientOpEvent{p, std::move(cmd)});
 }
 
 void Simulator::SendMessage(common::ProcessId from, common::ProcessId to,
@@ -102,47 +131,68 @@ void Simulator::SendMessage(common::ProcessId from, common::ProcessId to,
   egress_free_[from] = tx_done;
 
   common::Time arrival = tx_done + latency_->Propagation(from, to, rng_);
-  auto extra = link_extra_delay_.find({from, to});
-  if (extra != link_extra_delay_.end()) {
-    arrival += extra->second;
+  if (any_link_extra_) {
+    arrival += link_extra_delay_[LinkIndex(from, to)];
   }
   if (opts_.fifo_links) {
-    size_t link = static_cast<size_t>(from) * n() + to;
+    size_t link = LinkIndex(from, to);
     arrival = std::max(arrival, last_arrival_[link]);
     last_arrival_[link] = arrival;
   }
-
-  Post(arrival, [this, from, to, m = std::move(m)]() mutable {
-    if (crashed_[to] || IsLinkDown(from, to)) {
-      messages_dropped_++;
-      return;
-    }
-    messages_delivered_++;
-    engines_[to]->OnMessage(from, m);
-  });
+  PostEvent(arrival, DeliverEvent{from, to, std::move(m)});
 }
 
 void Simulator::SetEngineTimer(common::ProcessId p, common::Duration delay,
                                uint64_t token) {
-  Post(now_ + delay, [this, p, token]() {
-    if (!crashed_[p]) {
-      engines_[p]->OnTimer(token);
+  PostEvent(now_ + delay, TimerEvent{p, token});
+}
+
+void Simulator::Dispatch(Payload& payload) {
+  switch (payload.index()) {
+    case 0: {  // DeliverEvent
+      auto& d = std::get<DeliverEvent>(payload);
+      if (crashed_[d.to] || IsLinkDown(d.from, d.to)) {
+        messages_dropped_++;
+        return;
+      }
+      messages_delivered_++;
+      engines_[d.to]->OnMessage(d.from, d.m);
+      return;
     }
-  });
+    case 1: {  // TimerEvent
+      auto& t = std::get<TimerEvent>(payload);
+      if (!crashed_[t.p]) {
+        engines_[t.p]->OnTimer(t.token);
+      }
+      return;
+    }
+    case 2: {  // ClientOpEvent
+      auto& c = std::get<ClientOpEvent>(payload);
+      if (!crashed_[c.p]) {
+        engines_[c.p]->Submit(std::move(c.cmd));
+      }
+      return;
+    }
+    default: {  // ClosureEvent
+      std::get<ClosureEvent>(payload).fn();
+      return;
+    }
+  }
 }
 
 bool Simulator::Step() {
   if (queue_.empty()) {
     return false;
   }
-  // priority_queue has no non-const top-move; the const_cast is safe because the
-  // element is popped immediately after.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  Event ev = queue_.top();  // POD copy
   queue_.pop();
   CHECK_GE(ev.t, now_);
   now_ = ev.t;
   events_run_++;
-  ev.fn();
+  // Run the payload in place (deque references stay valid while handlers post new
+  // events); the slot is recycled only after the handler returns.
+  Dispatch(slots_[ev.slot]);
+  free_slots_.push_back(ev.slot);
   return true;
 }
 
@@ -166,23 +216,26 @@ void Simulator::Crash(common::ProcessId p) {
 }
 
 void Simulator::SetLinkDown(common::ProcessId from, common::ProcessId to, bool down) {
+  EnsureLinkState();
+  link_down_[LinkIndex(from, to)] = down ? 1 : 0;
   if (down) {
-    links_down_.insert({from, to});
+    any_link_down_ = true;
   } else {
-    links_down_.erase({from, to});
+    any_link_down_ =
+        std::find(link_down_.begin(), link_down_.end(), 1) != link_down_.end();
   }
-}
-
-bool Simulator::IsLinkDown(common::ProcessId from, common::ProcessId to) const {
-  return links_down_.count({from, to}) > 0;
 }
 
 void Simulator::SetLinkDelay(common::ProcessId from, common::ProcessId to,
                              common::Duration extra) {
-  if (extra == 0) {
-    link_extra_delay_.erase({from, to});
+  EnsureLinkState();
+  link_extra_delay_[LinkIndex(from, to)] = extra;
+  if (extra != 0) {
+    any_link_extra_ = true;
   } else {
-    link_extra_delay_[{from, to}] = extra;
+    any_link_extra_ = std::find_if(link_extra_delay_.begin(), link_extra_delay_.end(),
+                                   [](common::Duration d) { return d != 0; }) !=
+                      link_extra_delay_.end();
   }
 }
 

@@ -28,18 +28,6 @@ size_t Command::PayloadSize() const {
   return n;
 }
 
-void Command::Encode(codec::Writer& w) const {
-  w.Varint(client);
-  w.Varint(seq);
-  w.U8(static_cast<uint8_t>(op));
-  w.Bytes(key);
-  w.Varint(more_keys.size());
-  for (const auto& k : more_keys) {
-    w.Bytes(k);
-  }
-  w.Bytes(value);
-}
-
 Command Command::Decode(codec::Reader& r) {
   Command c;
   c.client = r.Varint();

@@ -40,7 +40,21 @@ struct Command {
   // Total bytes of key + payload; used by benches to model message sizes.
   size_t PayloadSize() const;
 
-  void Encode(codec::Writer& w) const;
+  // Works with codec::Writer (emit bytes) and codec::SizeWriter (count bytes only):
+  // the simulator charges wire sizes on every send without serializing.
+  template <class W>
+  void EncodeTo(W& w) const {
+    w.Varint(client);
+    w.Varint(seq);
+    w.U8(static_cast<uint8_t>(op));
+    w.Bytes(key);
+    w.Varint(more_keys.size());
+    for (const auto& k : more_keys) {
+      w.Bytes(k);
+    }
+    w.Bytes(value);
+  }
+  void Encode(codec::Writer& w) const { EncodeTo(w); }
   static Command Decode(codec::Reader& r);
 
   friend bool operator==(const Command& a, const Command& b);

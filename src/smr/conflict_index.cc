@@ -36,42 +36,46 @@ void AddEntry(std::vector<Entry>& entries, const common::Dot& dot, IndexMode mod
 
 }  // namespace
 
-void KeyConflictIndex::CollectKey(const std::string& key, bool cmd_is_read,
-                                  const common::Dot& self, common::DepSet& out) const {
-  auto it = keys_.find(key);
-  if (it == keys_.end()) {
-    return;
+void KeyConflictIndex::CollectKeyId(uint32_t key_id, bool cmd_is_read,
+                                    const common::Dot& self,
+                                    common::DepSet& out) const {
+  if (key_id == KeyInterner::kNotFound || key_id >= keys_.size()) {
+    return;  // key never recorded: nothing conflicts
   }
-  CollectAll(it->second.writes, self, out);
+  const PerKey& pk = keys_[key_id];
+  CollectAll(pk.writes, self, out);
   if (!cmd_is_read) {
     // Writes additionally conflict with reads on the key; reads commute with reads.
-    CollectAll(it->second.reads, self, out);
+    CollectAll(pk.reads, self, out);
   }
 }
 
-common::DepSet KeyConflictIndex::Conflicts(const Command& cmd,
-                                           const common::Dot& self) const {
-  common::DepSet out;
+void KeyConflictIndex::CollectInto(const Command& cmd, const common::Dot& self,
+                                   common::DepSet& out) const {
+  out.clear();
   if (cmd.is_noop()) {
     // noOp conflicts with everything recorded.
-    for (const auto& [key, per_key] : keys_) {
-      CollectAll(per_key.writes, self, out);
-      CollectAll(per_key.reads, self, out);
+    for (const PerKey& pk : keys_) {
+      CollectAll(pk.writes, self, out);
+      CollectAll(pk.reads, self, out);
     }
     CollectAll(noops_, self, out);
-    return out;
+    return;
   }
-  CollectKey(cmd.key, cmd.is_read(), self, out);
+  CollectKeyId(interner_.Find(cmd.key), cmd.is_read(), self, out);
   for (const auto& k : cmd.more_keys) {
-    CollectKey(k, cmd.is_read(), self, out);
+    CollectKeyId(interner_.Find(k), cmd.is_read(), self, out);
   }
   CollectAll(noops_, self, out);
-  return out;
 }
 
-void KeyConflictIndex::RecordKey(const std::string& key, bool is_read,
+void KeyConflictIndex::RecordKey(std::string_view key, bool is_read,
                                  const common::Dot& dot) {
-  PerKey& pk = keys_[key];
+  uint32_t key_id = interner_.Intern(key);
+  if (key_id >= keys_.size()) {
+    keys_.resize(key_id + 1);
+  }
+  PerKey& pk = keys_[key_id];
   if (is_read) {
     // Reads are never compressed per process: reads do not depend on one another, so
     // dropping an older read would break the chain-cover property. In compressed mode
@@ -88,7 +92,7 @@ void KeyConflictIndex::RecordKey(const std::string& key, bool is_read,
 }
 
 void KeyConflictIndex::Record(const common::Dot& dot, const Command& cmd) {
-  if (!seen_.insert(dot).second) {
+  if (!seen_.Insert(dot)) {
     return;
   }
   if (cmd.is_noop()) {
@@ -101,19 +105,18 @@ void KeyConflictIndex::Record(const common::Dot& dot, const Command& cmd) {
   }
 }
 
-common::DepSet LinearConflictIndex::Conflicts(const Command& cmd,
-                                              const common::Dot& self) const {
-  common::DepSet out;
+void LinearConflictIndex::CollectInto(const Command& cmd, const common::Dot& self,
+                                      common::DepSet& out) const {
+  out.clear();
   for (const auto& [dot, recorded] : recorded_) {
     if (dot != self && model_->Conflicts(cmd, recorded)) {
       out.Insert(dot);
     }
   }
-  return out;
 }
 
 void LinearConflictIndex::Record(const common::Dot& dot, const Command& cmd) {
-  if (!seen_.insert(dot).second) {
+  if (!seen_.Insert(dot)) {
     return;
   }
   recorded_.emplace_back(dot, cmd);

@@ -3,7 +3,9 @@
 //
 // Two implementations:
 //  - KeyConflictIndex: indexes commands by key (the KeyConflictModel hard-wired for
-//    speed). Supports two modes:
+//    speed). Keys are interned to dense uint32_t ids on first sight (KeyInterner), so
+//    the steady state never hashes a std::string: per-key state lives in a flat vector
+//    indexed by key-id. Supports two modes:
 //      * kFull        — record every dot per key; conflicts() returns all of them.
 //                       Literal paper semantics; dependency sets grow with history.
 //      * kCompressed  — keep only the latest write per (key, process) and the latest
@@ -13,6 +15,9 @@
 //  - LinearConflictIndex: O(history) scan against an arbitrary ConflictModel; used by
 //    tests to cross-validate KeyConflictIndex and by exotic state machines.
 //
+// The hot-path API is CollectInto: callers keep a scratch DepSet and pay no
+// allocation per call. Conflicts() is a convenience wrapper for tests.
+//
 // noOps conflict with everything, so they are tracked globally, and a noOp's own
 // dependency set is the union of everything recorded.
 #ifndef SRC_SMR_CONFLICT_INDEX_H_
@@ -20,13 +25,13 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/common/dep_set.h"
+#include "src/common/dot_set.h"
 #include "src/common/types.h"
 #include "src/smr/conflict.h"
+#include "src/smr/key_interner.h"
 
 namespace smr {
 
@@ -34,8 +39,11 @@ class ConflictIndex {
  public:
   virtual ~ConflictIndex() = default;
 
-  // Dependencies of cmd over all recorded commands, excluding `self`.
-  virtual common::DepSet Conflicts(const Command& cmd, const common::Dot& self) const = 0;
+  // Appends the dependencies of cmd over all recorded commands, excluding `self`,
+  // into `out` (cleared first). The hot-path entry point: no allocation when `out`
+  // has capacity from previous calls (or fits its inline buffer).
+  virtual void CollectInto(const Command& cmd, const common::Dot& self,
+                           common::DepSet& out) const = 0;
 
   // Records cmd under dot. Idempotent.
   virtual void Record(const common::Dot& dot, const Command& cmd) = 0;
@@ -43,6 +51,13 @@ class ConflictIndex {
   virtual bool Seen(const common::Dot& dot) const = 0;
 
   virtual size_t RecordedCount() const = 0;
+
+  // Allocating convenience (tests, cold paths).
+  common::DepSet Conflicts(const Command& cmd, const common::Dot& self) const {
+    common::DepSet out;
+    CollectInto(cmd, self, out);
+    return out;
+  }
 };
 
 enum class IndexMode {
@@ -54,9 +69,10 @@ class KeyConflictIndex final : public ConflictIndex {
  public:
   explicit KeyConflictIndex(IndexMode mode) : mode_(mode) {}
 
-  common::DepSet Conflicts(const Command& cmd, const common::Dot& self) const override;
+  void CollectInto(const Command& cmd, const common::Dot& self,
+                   common::DepSet& out) const override;
   void Record(const common::Dot& dot, const Command& cmd) override;
-  bool Seen(const common::Dot& dot) const override { return seen_.count(dot) > 0; }
+  bool Seen(const common::Dot& dot) const override { return seen_.Contains(dot); }
   size_t RecordedCount() const override { return seen_.size(); }
 
  private:
@@ -67,29 +83,31 @@ class KeyConflictIndex final : public ConflictIndex {
     std::vector<std::pair<common::ProcessId, common::Dot>> reads;
   };
 
-  void CollectKey(const std::string& key, bool cmd_is_read, const common::Dot& self,
-                  common::DepSet& out) const;
-  void RecordKey(const std::string& key, bool is_read, const common::Dot& dot);
+  void CollectKeyId(uint32_t key_id, bool cmd_is_read, const common::Dot& self,
+                    common::DepSet& out) const;
+  void RecordKey(std::string_view key, bool is_read, const common::Dot& dot);
 
   IndexMode mode_;
-  std::unordered_map<std::string, PerKey> keys_;
+  KeyInterner interner_;
+  std::vector<PerKey> keys_;  // indexed by interned key id
   std::vector<std::pair<common::ProcessId, common::Dot>> noops_;
-  std::unordered_set<common::Dot, common::DotHash> seen_;
+  common::DenseDotSet seen_;
 };
 
 class LinearConflictIndex final : public ConflictIndex {
  public:
   explicit LinearConflictIndex(const ConflictModel* model) : model_(model) {}
 
-  common::DepSet Conflicts(const Command& cmd, const common::Dot& self) const override;
+  void CollectInto(const Command& cmd, const common::Dot& self,
+                   common::DepSet& out) const override;
   void Record(const common::Dot& dot, const Command& cmd) override;
-  bool Seen(const common::Dot& dot) const override { return seen_.count(dot) > 0; }
+  bool Seen(const common::Dot& dot) const override { return seen_.Contains(dot); }
   size_t RecordedCount() const override { return recorded_.size(); }
 
  private:
   const ConflictModel* model_;
   std::vector<std::pair<common::Dot, Command>> recorded_;
-  std::unordered_set<common::Dot, common::DotHash> seen_;
+  common::DenseDotSet seen_;
 };
 
 std::unique_ptr<ConflictIndex> MakeKeyIndex(IndexMode mode);

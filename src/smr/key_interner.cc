@@ -1,0 +1,80 @@
+#include "src/smr/key_interner.h"
+
+namespace smr {
+
+namespace {
+constexpr size_t kInitialCapacity = 64;
+}  // namespace
+
+KeyInterner::KeyInterner() : table_(kInitialCapacity), mask_(kInitialCapacity - 1) {}
+
+uint64_t KeyInterner::Hash(std::string_view s) {
+  // FNV-1a with an avalanche finish: keys are short (<= a few dozen bytes) and this
+  // beats fancier hashes on setup cost while distributing well for power-of-2 masks.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 32;
+  return h;
+}
+
+uint32_t KeyInterner::Find(std::string_view key) const {
+  uint64_t h = Hash(key);
+  size_t i = static_cast<size_t>(h) & mask_;
+  while (true) {
+    const Slot& slot = table_[i];
+    if (slot.id == kNotFound) {
+      return kNotFound;
+    }
+    if (slot.hash == h && keys_[slot.id] == key) {
+      return slot.id;
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+uint32_t KeyInterner::Intern(std::string_view key) {
+  uint64_t h = Hash(key);
+  size_t i = static_cast<size_t>(h) & mask_;
+  while (true) {
+    Slot& slot = table_[i];
+    if (slot.id == kNotFound) {
+      uint32_t id = static_cast<uint32_t>(keys_.size());
+      keys_.emplace_back(key);
+      slot.hash = h;
+      slot.id = id;
+      // Keep the load factor under ~0.7 so probe chains stay short.
+      if (keys_.size() * 10 > table_.size() * 7) {
+        Rehash(table_.size() * 2);
+      }
+      return id;
+    }
+    if (slot.hash == h && keys_[slot.id] == key) {
+      return slot.id;
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+void KeyInterner::Rehash(size_t new_capacity) {
+  std::vector<Slot> fresh(new_capacity);
+  size_t new_mask = new_capacity - 1;
+  for (const Slot& slot : table_) {
+    if (slot.id == kNotFound) {
+      continue;
+    }
+    size_t i = static_cast<size_t>(slot.hash) & new_mask;
+    while (fresh[i].id != kNotFound) {
+      i = (i + 1) & new_mask;
+    }
+    fresh[i] = slot;
+  }
+  table_.swap(fresh);
+  mask_ = new_mask;
+}
+
+}  // namespace smr

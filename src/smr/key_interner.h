@@ -1,0 +1,49 @@
+// String-key interning for the conflict index hot path.
+//
+// Every Conflicts()/Record() call used to hash the command's std::string key into an
+// unordered_map. The interner maps each distinct key to a dense uint32_t id exactly
+// once; afterwards the conflict index runs on flat vectors indexed by key-id. Lookups
+// use an open-addressed power-of-two table of (hash, id) slots with linear probing —
+// no buckets, no per-node allocation, cache-friendly probes.
+#ifndef SRC_SMR_KEY_INTERNER_H_
+#define SRC_SMR_KEY_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smr {
+
+class KeyInterner {
+ public:
+  static constexpr uint32_t kNotFound = 0xffffffffu;
+
+  KeyInterner();
+
+  // Returns the id of `key`, assigning the next dense id on first sight.
+  uint32_t Intern(std::string_view key);
+
+  // Returns the id of `key` or kNotFound. Never allocates.
+  uint32_t Find(std::string_view key) const;
+
+  const std::string& KeyOf(uint32_t id) const { return keys_[id]; }
+  size_t size() const { return keys_.size(); }
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    uint32_t id = kNotFound;  // kNotFound marks an empty slot
+  };
+
+  static uint64_t Hash(std::string_view s);
+  void Rehash(size_t new_capacity);
+
+  std::vector<Slot> table_;  // power-of-two capacity
+  std::vector<std::string> keys_;
+  size_t mask_ = 0;
+};
+
+}  // namespace smr
+
+#endif  // SRC_SMR_KEY_INTERNER_H_

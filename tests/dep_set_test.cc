@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "src/common/rng.h"
 
 namespace common {
@@ -172,6 +176,132 @@ TEST(DepSetTest, ThresholdUnionByProcSupersetOfPerDot) {
     DepSet all = Union(replies);
     for (const Dot& d : per_proc) {
       EXPECT_TRUE(all.Contains(d));
+    }
+  }
+}
+
+// --- Small-buffer boundary cases -------------------------------------------------
+
+// Spill at exactly kInlineCapacity: contents and ordering survive the inline->heap
+// transition, and further growth keeps working.
+TEST(DepSetTest, SmallBufferSpillAtCapacity) {
+  DepSet s;
+  for (uint64_t i = 1; i <= DepSet::kInlineCapacity; i++) {
+    s.Insert(D(0, i));
+  }
+  EXPECT_EQ(s.size(), static_cast<size_t>(DepSet::kInlineCapacity));
+  s.Insert(D(0, 100));  // forces the heap spill
+  s.Insert(D(0, 50));
+  EXPECT_EQ(s.size(), DepSet::kInlineCapacity + 2u);
+  for (uint64_t i = 1; i <= DepSet::kInlineCapacity; i++) {
+    EXPECT_TRUE(s.Contains(D(0, i)));
+  }
+  EXPECT_TRUE(s.Contains(D(0, 50)));
+  EXPECT_TRUE(s.Contains(D(0, 100)));
+  // Still sorted.
+  for (size_t i = 1; i < s.size(); i++) {
+    EXPECT_TRUE(s.dots()[i - 1] < s.dots()[i]);
+  }
+}
+
+// UnionWith across representations: inline+inline spilling, heap+inline, inline+heap.
+TEST(DepSetTest, SmallBufferUnionAcrossRepresentations) {
+  DepSet inline_a{D(0, 1), D(0, 3), D(0, 5)};
+  DepSet inline_b{D(0, 2), D(0, 4), D(0, 6)};
+  DepSet merged = inline_a;
+  merged.UnionWith(inline_b);  // 6 dots: spills mid-union
+  EXPECT_EQ(merged.size(), 6u);
+  for (uint64_t i = 1; i <= 6; i++) {
+    EXPECT_TRUE(merged.Contains(D(0, i)));
+  }
+
+  DepSet heap;
+  for (uint64_t i = 10; i < 30; i++) {
+    heap.Insert(D(1, i));
+  }
+  DepSet heap_plus_inline = heap;
+  heap_plus_inline.UnionWith(inline_a);  // heap absorbs inline
+  EXPECT_EQ(heap_plus_inline.size(), 23u);
+  DepSet inline_plus_heap = inline_a;
+  inline_plus_heap.UnionWith(heap);  // inline spills to absorb heap
+  EXPECT_EQ(inline_plus_heap, heap_plus_inline);
+}
+
+// Equality must not depend on the storage representation: a set that grew to the heap
+// and shrank back compares equal to one that never left the inline buffer.
+TEST(DepSetTest, SmallBufferEqualityAcrossRepresentations) {
+  DepSet grew{D(0, 1), D(0, 2)};
+  for (uint64_t i = 10; i < 20; i++) {
+    grew.Insert(D(0, i));
+  }
+  for (uint64_t i = 10; i < 20; i++) {
+    grew.Remove(D(0, i));
+  }
+  DepSet stayed{D(0, 1), D(0, 2)};
+  EXPECT_EQ(grew, stayed);
+  EXPECT_EQ(stayed, grew);
+}
+
+// Copies and moves across representations preserve contents and leave usable sources.
+TEST(DepSetTest, SmallBufferCopyAndMoveSemantics) {
+  DepSet small{D(0, 1), D(0, 2)};
+  DepSet big;
+  for (uint64_t i = 1; i <= 10; i++) {
+    big.Insert(D(1, i));
+  }
+
+  DepSet small_copy = small;
+  DepSet big_copy = big;
+  EXPECT_EQ(small_copy, small);
+  EXPECT_EQ(big_copy, big);
+
+  DepSet small_moved = std::move(small_copy);
+  DepSet big_moved = std::move(big_copy);
+  EXPECT_EQ(small_moved, small);
+  EXPECT_EQ(big_moved, big);
+
+  // Moved-from sets are empty and reusable.
+  EXPECT_TRUE(small_copy.empty());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(big_copy.empty());    // NOLINT(bugprone-use-after-move)
+  small_copy.Insert(D(2, 7));
+  big_copy.Insert(D(2, 8));
+  EXPECT_TRUE(small_copy.Contains(D(2, 7)));
+  EXPECT_TRUE(big_copy.Contains(D(2, 8)));
+
+  // Assignment in both directions across representations.
+  small_moved = big;
+  EXPECT_EQ(small_moved, big);
+  big_moved = DepSet{D(3, 1)};
+  EXPECT_EQ(big_moved.size(), 1u);
+  EXPECT_TRUE(big_moved.Contains(D(3, 1)));
+}
+
+// Randomized cross-check of the whole DepSet API against std::set semantics, with
+// sizes straddling the inline capacity so every representation transition is hit.
+TEST(DepSetTest, SmallBufferRandomizedAgainstReference) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 200; trial++) {
+    DepSet s;
+    std::vector<Dot> reference;  // kept sorted/unique manually
+    for (int op = 0; op < 40; op++) {
+      Dot d = D(static_cast<ProcessId>(rng.Below(3)), 1 + rng.Below(8));
+      if (rng.Below(4) == 0) {
+        s.Remove(d);
+        auto it = std::find(reference.begin(), reference.end(), d);
+        if (it != reference.end()) {
+          reference.erase(it);
+        }
+      } else {
+        s.Insert(d);
+        if (std::find(reference.begin(), reference.end(), d) == reference.end()) {
+          reference.push_back(d);
+        }
+      }
+    }
+    std::sort(reference.begin(), reference.end());
+    ASSERT_EQ(s.size(), reference.size());
+    for (size_t i = 0; i < reference.size(); i++) {
+      EXPECT_EQ(s.dots()[i], reference[i]);
     }
   }
 }

@@ -1,0 +1,114 @@
+// Pins the exact counters of seeded simulator runs. The discrete-event simulator
+// promises bit-for-bit reproducibility for a fixed seed, and the hot-path work
+// (typed events, interned conflict keys, small-buffer DepSets, codec reuse) must not
+// change protocol outcomes. These tests assert one seeded run's counters so any
+// behavioural drift — reordered events, different conflict sets, changed fast-path
+// decisions — fails loudly rather than silently shifting benchmark results.
+//
+// The pinned values were captured from the pre-refactor (allocating) implementation;
+// the allocation-free hot path reproduces them exactly.
+#include <gtest/gtest.h>
+
+#include "src/harness/cluster.h"
+#include "src/sim/regions.h"
+#include "src/wl/workload.h"
+
+namespace {
+
+struct RunCounters {
+  uint64_t messages_delivered = 0;
+  uint64_t fast_paths = 0;
+  uint64_t slow_paths = 0;
+  uint64_t total_executions = 0;
+  uint64_t completed = 0;
+  uint64_t digest0 = 0;
+};
+
+RunCounters SeededRun(harness::Protocol protocol, smr::IndexMode mode) {
+  harness::ClusterOptions opts;
+  opts.protocol = protocol;
+  // f=2 with 5 sites: the fast-path condition is non-trivial (threshold 2), so these
+  // runs exercise slow paths, threshold unions, and dependency pruning too.
+  opts.f = 2;
+  opts.index_mode = mode;
+  opts.site_regions = sim::ScaleOutSites(5);
+  opts.seed = 42;
+  opts.enable_checker = true;
+
+  harness::Cluster cluster(opts);
+  auto workload = std::make_shared<wl::MicroWorkload>(0.10, 64);
+  for (size_t region : sim::ClientSites()) {
+    harness::ClientSpec cs;
+    cs.region = region;
+    cs.workload = workload;
+    cs.max_ops = 20;
+    cluster.AddClients(cs, 2);
+  }
+  cluster.SetMeasureWindow(0, 10 * common::kSecond);
+  cluster.Start();
+  cluster.RunFor(10 * common::kSecond);
+  chk::CheckResult result = cluster.Finish(/*abort_on_error=*/false);
+  EXPECT_TRUE(result.ok) << result.Describe();
+
+  RunCounters c;
+  c.messages_delivered = cluster.simulator().messages_delivered();
+  harness::Metrics m = cluster.Snapshot();
+  c.fast_paths = m.fast_paths;
+  c.slow_paths = m.slow_paths;
+  c.total_executions = m.total_executions;
+  c.completed = cluster.total_completed();
+  c.digest0 = cluster.store(0).StateDigest();
+  return c;
+}
+
+// Pinned counters for seed 42 (captured from the pre-refactor implementation).
+constexpr uint64_t kPinDelivered = 5284;
+constexpr uint64_t kPinFast = 499;
+constexpr uint64_t kPinSlow = 21;
+constexpr uint64_t kPinExec = 2600;
+constexpr uint64_t kPinCompleted = 520;
+constexpr uint64_t kPinDigest0 = 16319399153968832379ull;
+constexpr uint64_t kPinFullDelivered = 5236;
+constexpr uint64_t kPinFullFast = 511;
+constexpr uint64_t kPinFullSlow = 9;
+
+// Two identical runs must agree on everything (sanity for the pins below).
+TEST(DeterminismTest, SameSeedSameCounters) {
+  RunCounters a = SeededRun(harness::Protocol::kAtlas, smr::IndexMode::kCompressed);
+  RunCounters b = SeededRun(harness::Protocol::kAtlas, smr::IndexMode::kCompressed);
+  EXPECT_EQ(a.messages_delivered, b.messages_delivered);
+  EXPECT_EQ(a.fast_paths, b.fast_paths);
+  EXPECT_EQ(a.slow_paths, b.slow_paths);
+  EXPECT_EQ(a.total_executions, b.total_executions);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.digest0, b.digest0);
+}
+
+TEST(DeterminismTest, PinnedAtlasCompressed) {
+  RunCounters c = SeededRun(harness::Protocol::kAtlas, smr::IndexMode::kCompressed);
+  std::printf("atlas/compressed: delivered=%llu fast=%llu slow=%llu exec=%llu "
+              "completed=%llu digest0=%llu\n",
+              (unsigned long long)c.messages_delivered, (unsigned long long)c.fast_paths,
+              (unsigned long long)c.slow_paths, (unsigned long long)c.total_executions,
+              (unsigned long long)c.completed, (unsigned long long)c.digest0);
+  EXPECT_EQ(c.messages_delivered, kPinDelivered);
+  EXPECT_EQ(c.fast_paths, kPinFast);
+  EXPECT_EQ(c.slow_paths, kPinSlow);
+  EXPECT_EQ(c.total_executions, kPinExec);
+  EXPECT_EQ(c.completed, kPinCompleted);
+  EXPECT_EQ(c.digest0, kPinDigest0);
+}
+
+TEST(DeterminismTest, PinnedAtlasFull) {
+  RunCounters c = SeededRun(harness::Protocol::kAtlas, smr::IndexMode::kFull);
+  std::printf("atlas/full: delivered=%llu fast=%llu slow=%llu exec=%llu "
+              "completed=%llu digest0=%llu\n",
+              (unsigned long long)c.messages_delivered, (unsigned long long)c.fast_paths,
+              (unsigned long long)c.slow_paths, (unsigned long long)c.total_executions,
+              (unsigned long long)c.completed, (unsigned long long)c.digest0);
+  EXPECT_EQ(c.messages_delivered, kPinFullDelivered);
+  EXPECT_EQ(c.fast_paths, kPinFullFast);
+  EXPECT_EQ(c.slow_paths, kPinFullSlow);
+}
+
+}  // namespace

@@ -1,0 +1,61 @@
+// DenseDotSet: bitmap-backed membership for dense dots, hash overflow for outliers.
+#include "src/common/dot_set.h"
+
+#include <gtest/gtest.h>
+
+namespace common {
+namespace {
+
+TEST(DenseDotSetTest, InsertContainsEraseDense) {
+  DenseDotSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.Insert(Dot{0, 1}));
+  EXPECT_FALSE(s.Insert(Dot{0, 1}));  // duplicate
+  EXPECT_TRUE(s.Insert(Dot{2, 7}));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.Contains(Dot{0, 1}));
+  EXPECT_TRUE(s.Contains(Dot{2, 7}));
+  EXPECT_FALSE(s.Contains(Dot{1, 1}));
+  s.Erase(Dot{0, 1});
+  EXPECT_FALSE(s.Contains(Dot{0, 1}));
+  EXPECT_EQ(s.size(), 1u);
+  s.Erase(Dot{0, 1});  // idempotent
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(DenseDotSetTest, SequentialGrowthStaysCorrect) {
+  DenseDotSet s;
+  for (uint64_t i = 1; i <= 200000; i++) {
+    EXPECT_TRUE(s.Insert(Dot{1, i}));
+  }
+  EXPECT_EQ(s.size(), 200000u);
+  EXPECT_TRUE(s.Contains(Dot{1, 1}));
+  EXPECT_TRUE(s.Contains(Dot{1, 200000}));
+  EXPECT_FALSE(s.Contains(Dot{1, 200001}));
+}
+
+// Malformed/adversarial dots (huge seq or proc, e.g. decoded from a corrupt network
+// message) must not blow up memory: they land in the overflow set, and membership
+// semantics stay exact. This guards the "malformed input cannot crash a replica"
+// codec promise end to end.
+TEST(DenseDotSetTest, AdversarialDotsDoNotExplodeMemory) {
+  DenseDotSet s;
+  Dot huge_seq{0, 1ull << 60};
+  Dot huge_proc{1u << 30, 5};
+  EXPECT_TRUE(s.Insert(huge_seq));
+  EXPECT_TRUE(s.Insert(huge_proc));
+  EXPECT_FALSE(s.Insert(huge_seq));  // duplicate detection still exact
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.Contains(huge_seq));
+  EXPECT_TRUE(s.Contains(huge_proc));
+  EXPECT_FALSE(s.Contains(Dot{0, (1ull << 60) + 1}));
+  // Dense dots keep working alongside outliers.
+  EXPECT_TRUE(s.Insert(Dot{0, 1}));
+  EXPECT_TRUE(s.Contains(Dot{0, 1}));
+  s.Erase(huge_seq);
+  EXPECT_FALSE(s.Contains(huge_seq));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+}  // namespace
+}  // namespace common

@@ -1,0 +1,246 @@
+// KeyInterner unit tests plus a randomized equivalence proof: the interned
+// KeyConflictIndex must return byte-identical conflict sets to the original
+// string-keyed implementation (reproduced here as the reference) over a long mixed
+// workload, in both IndexModes.
+#include "src/smr/key_interner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/smr/conflict_index.h"
+
+namespace smr {
+namespace {
+
+using common::DepSet;
+using common::Dot;
+using common::ProcessId;
+using common::Rng;
+
+TEST(KeyInternerTest, AssignsDenseIdsInFirstSightOrder) {
+  KeyInterner interner;
+  EXPECT_EQ(interner.Intern("alpha"), 0u);
+  EXPECT_EQ(interner.Intern("beta"), 1u);
+  EXPECT_EQ(interner.Intern("alpha"), 0u);
+  EXPECT_EQ(interner.Intern("gamma"), 2u);
+  EXPECT_EQ(interner.size(), 3u);
+  EXPECT_EQ(interner.KeyOf(1), "beta");
+}
+
+TEST(KeyInternerTest, FindDoesNotCreate) {
+  KeyInterner interner;
+  EXPECT_EQ(interner.Find("missing"), KeyInterner::kNotFound);
+  interner.Intern("present");
+  EXPECT_EQ(interner.Find("present"), 0u);
+  EXPECT_EQ(interner.Find("missing"), KeyInterner::kNotFound);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(KeyInternerTest, SurvivesRehashWithManyKeys) {
+  KeyInterner interner;
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < 5000; i++) {
+    ids.push_back(interner.Intern("key-" + std::to_string(i)));
+  }
+  for (int i = 0; i < 5000; i++) {
+    EXPECT_EQ(interner.Find("key-" + std::to_string(i)), ids[i]);
+    EXPECT_EQ(interner.KeyOf(ids[i]), "key-" + std::to_string(i));
+  }
+  // Empty string and binary-ish keys behave like any other key.
+  uint32_t empty_id = interner.Intern("");
+  std::string binary("\x00\x01\xff", 3);
+  uint32_t binary_id = interner.Intern(binary);
+  EXPECT_EQ(interner.Find(""), empty_id);
+  EXPECT_EQ(interner.Find(binary), binary_id);
+  EXPECT_NE(empty_id, binary_id);
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementation: the pre-interning string-keyed KeyConflictIndex
+// (unordered_map<std::string, PerKey>), byte-for-byte the old semantics.
+// ---------------------------------------------------------------------------
+
+class StringKeyedIndex {
+ public:
+  explicit StringKeyedIndex(IndexMode mode) : mode_(mode) {}
+
+  DepSet Conflicts(const Command& cmd, const Dot& self) const {
+    DepSet out;
+    if (cmd.is_noop()) {
+      for (const auto& [key, per_key] : keys_) {
+        CollectAll(per_key.writes, self, out);
+        CollectAll(per_key.reads, self, out);
+      }
+      CollectAll(noops_, self, out);
+      return out;
+    }
+    CollectKey(cmd.key, cmd.is_read(), self, out);
+    for (const auto& k : cmd.more_keys) {
+      CollectKey(k, cmd.is_read(), self, out);
+    }
+    CollectAll(noops_, self, out);
+    return out;
+  }
+
+  void Record(const Dot& dot, const Command& cmd) {
+    if (!seen_.insert(dot).second) {
+      return;
+    }
+    if (cmd.is_noop()) {
+      AddEntry(noops_, dot, mode_);
+      return;
+    }
+    RecordKey(cmd.key, cmd.is_read(), dot);
+    for (const auto& k : cmd.more_keys) {
+      RecordKey(k, cmd.is_read(), dot);
+    }
+  }
+
+ private:
+  using Entry = std::pair<ProcessId, Dot>;
+
+  static void CollectAll(const std::vector<Entry>& entries, const Dot& self,
+                         DepSet& out) {
+    for (const auto& [proc, dot] : entries) {
+      if (dot != self) {
+        out.Insert(dot);
+      }
+    }
+  }
+
+  static void AddEntry(std::vector<Entry>& entries, const Dot& dot, IndexMode mode) {
+    if (mode == IndexMode::kCompressed) {
+      for (auto& [proc, d] : entries) {
+        if (proc == dot.proc) {
+          if (d < dot) {
+            d = dot;
+          }
+          return;
+        }
+      }
+    }
+    entries.emplace_back(dot.proc, dot);
+  }
+
+  struct PerKey {
+    std::vector<Entry> writes;
+    std::vector<Entry> reads;
+  };
+
+  void CollectKey(const std::string& key, bool cmd_is_read, const Dot& self,
+                  DepSet& out) const {
+    auto it = keys_.find(key);
+    if (it == keys_.end()) {
+      return;
+    }
+    CollectAll(it->second.writes, self, out);
+    if (!cmd_is_read) {
+      CollectAll(it->second.reads, self, out);
+    }
+  }
+
+  void RecordKey(const std::string& key, bool is_read, const Dot& dot) {
+    PerKey& pk = keys_[key];
+    if (is_read) {
+      AddEntry(pk.reads, dot, IndexMode::kFull);
+    } else {
+      AddEntry(pk.writes, dot, mode_);
+      if (mode_ == IndexMode::kCompressed) {
+        pk.reads.clear();
+      }
+    }
+  }
+
+  IndexMode mode_;
+  std::unordered_map<std::string, PerKey> keys_;
+  std::vector<Entry> noops_;
+  std::unordered_set<Dot, common::DotHash> seen_;
+};
+
+Command RandomCommand(Rng& rng, uint64_t seq) {
+  auto key = [&rng]() { return "k" + std::to_string(rng.Below(48)); };
+  Command c;
+  c.client = 1 + rng.Below(8);
+  c.seq = seq;
+  switch (rng.Below(12)) {
+    case 0:  // noop
+      c.op = Op::kNoOp;
+      break;
+    case 1:
+    case 2:
+    case 3: {  // read
+      c.op = Op::kGet;
+      c.key = key();
+      break;
+    }
+    case 4: {  // multi-key read
+      c.op = Op::kScan;
+      c.key = key();
+      c.more_keys = {key(), key()};
+      break;
+    }
+    case 5: {  // multi-key write (may repeat a key: Record must stay idempotent)
+      c.op = Op::kMPut;
+      c.key = key();
+      c.more_keys = {key(), c.key};
+      c.value = "v";
+      break;
+    }
+    case 6: {  // read-modify-write
+      c.op = Op::kRmw;
+      c.key = key();
+      c.value = "v";
+      break;
+    }
+    default: {  // write
+      c.op = Op::kPut;
+      c.key = key();
+      c.value = "v";
+      break;
+    }
+  }
+  return c;
+}
+
+// 10k mixed read/write/multi-key/noop commands: at every step the interned index and
+// the string-keyed reference must agree exactly, in both index modes.
+TEST(KeyInternerTest, ConflictIndexEquivalentToStringKeyedReference) {
+  for (IndexMode mode : {IndexMode::kFull, IndexMode::kCompressed}) {
+    KeyConflictIndex interned(mode);
+    StringKeyedIndex reference(mode);
+    Rng rng(mode == IndexMode::kFull ? 7 : 8);
+    DepSet scratch;
+    uint64_t next_seq[5] = {1, 1, 1, 1, 1};
+    for (int step = 0; step < 10000; step++) {
+      ProcessId proc = static_cast<ProcessId>(rng.Below(5));
+      Dot dot{proc, next_seq[proc]++};
+      Command cmd = RandomCommand(rng, dot.seq);
+
+      interned.CollectInto(cmd, dot, scratch);
+      DepSet expected = reference.Conflicts(cmd, dot);
+      ASSERT_EQ(scratch, expected)
+          << "mode=" << (mode == IndexMode::kFull ? "full" : "compressed")
+          << " step=" << step << " cmd=" << cmd.ToString()
+          << " got=" << scratch.ToString() << " want=" << expected.ToString();
+      // The allocating wrapper agrees with the scratch API.
+      ASSERT_EQ(interned.Conflicts(cmd, dot), expected);
+
+      interned.Record(dot, cmd);
+      reference.Record(dot, cmd);
+      if (rng.Below(10) == 0) {
+        interned.Record(dot, cmd);  // duplicate records must be ignored
+        reference.Record(dot, cmd);
+      }
+      ASSERT_TRUE(interned.Seen(dot));
+    }
+    EXPECT_EQ(interned.RecordedCount(), 10000u);  // every dot recorded exactly once
+  }
+}
+
+}  // namespace
+}  // namespace smr

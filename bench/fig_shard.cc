@@ -1,0 +1,145 @@
+// Partition scale-out sweep (beyond the paper: ROADMAP sharding/batching item).
+//
+// Fig5-style deployment — 5 sites, f=1, §5.2 microbenchmark at 2% conflicts, 100-byte
+// payloads, per-message CPU cost and egress bandwidth modeling the paper's
+// n1-standard-8 nodes — swept over the number of partitions P per replica. P=1 is the
+// classic single-pipeline replica (the seeded baseline, byte-identical to PR-1 runs);
+// P>1 runs smr::ShardedEngine with per-partition engines and submission batching
+// (commands arriving at one (site, partition) within a short window share one
+// protocol round). The tracked number is simulated commands per wall-clock second:
+// how much replica work one simulator core drives per second, i.e. the per-node
+// pipeline cost a real deployment would pay in CPU.
+//
+// Emits BENCH_shard.json: per-P throughput plus the P=4 vs P=1 speedup (the PR's
+// acceptance metric: >= 1.5x on this workload).
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/bench_json.h"
+
+using bench::Ms;
+using bench::RunSpec;
+using bench::ScaledClients;
+
+namespace {
+
+struct SweepPoint {
+  uint32_t partitions = 1;
+  double sim_commands_per_sec = 0;
+  double mean_latency_ms = 0;
+  uint64_t completed = 0;
+  double wall_sec = 0;
+  double shard_balance = 0;  // min/max executed across shards (1.0 = perfect)
+  size_t max_batch = 0;
+};
+
+SweepPoint RunPoint(uint32_t partitions, size_t clients_per_region) {
+  RunSpec spec;
+  spec.opts.protocol = harness::Protocol::kAtlas;
+  spec.opts.f = 1;
+  spec.opts.site_regions = sim::ScaleOutSites(5);
+  spec.opts.seed = 5;
+  spec.opts.per_message_cost = 25;
+  spec.opts.egress_bytes_per_sec = 64.0 * 1024 * 1024;
+  spec.opts.partitions = partitions;
+  // Submission batching rides the sharded path only; P=1 stays the unbatched seed
+  // configuration. 20ms is small against the ~150ms WAN commit latencies here.
+  spec.opts.batch_window = partitions > 1 ? 20 * common::kMillisecond : 0;
+  spec.client_regions = sim::ClientSites();
+  spec.clients_per_region = clients_per_region;
+  spec.workload =
+      std::make_shared<wl::PartitionedMicroWorkload>(partitions, 0.02, 100);
+  spec.warmup = 3 * common::kSecond;
+  spec.measure = 6 * common::kSecond;
+
+  harness::Cluster cluster(spec.opts);
+  for (size_t region : spec.client_regions) {
+    harness::ClientSpec cs;
+    cs.region = region;
+    cs.workload = spec.workload;
+    cluster.AddClients(cs, spec.clients_per_region);
+  }
+  cluster.SetMeasureWindow(spec.warmup, spec.warmup + spec.measure);
+  auto wall_start = std::chrono::steady_clock::now();
+  cluster.Start();
+  cluster.RunFor(spec.warmup + spec.measure);
+  double wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  harness::Metrics m = cluster.Snapshot();
+
+  SweepPoint p;
+  p.partitions = partitions;
+  p.completed = m.completed_in_window;
+  p.wall_sec = wall_sec;
+  p.sim_commands_per_sec =
+      wall_sec > 0 ? static_cast<double>(m.completed_in_window) / wall_sec : 0;
+  p.mean_latency_ms = m.per_client_mean_us / 1000.0;
+  p.max_batch = m.max_batch;
+  if (!m.per_shard.empty()) {
+    uint64_t lo = ~uint64_t{0};
+    uint64_t hi = 0;
+    for (const smr::EngineStats& s : m.per_shard) {
+      lo = std::min(lo, s.executed);
+      hi = std::max(hi, s.executed);
+    }
+    p.shard_balance = hi > 0 ? static_cast<double>(lo) / static_cast<double>(hi) : 0;
+  } else {
+    p.shard_balance = 1.0;
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  const size_t clients = ScaledClients(77);
+  std::printf("=== Partition scale-out: P engines per replica, batched submission ===\n");
+  std::printf("(5 sites, f=1, %zu clients x 13 regions, 2%% conflicts, 100B payloads)\n\n",
+              clients);
+  std::printf("%-4s  %14s  %12s  %10s  %9s  %9s\n", "P", "sim-cmds/sec", "latency",
+              "completed", "balance", "max-batch");
+
+  const uint32_t sweep[] = {1, 2, 4, 8};
+  std::vector<SweepPoint> points;
+  for (uint32_t partitions : sweep) {
+    SweepPoint p = RunPoint(partitions, clients);
+    std::printf("%-4u  %14.0f  %10.0fms  %10llu  %9.2f  %9zu\n", p.partitions,
+                p.sim_commands_per_sec, p.mean_latency_ms,
+                static_cast<unsigned long long>(p.completed), p.shard_balance,
+                p.max_batch);
+    points.push_back(p);
+  }
+
+  // Look the acceptance points up by partition count, not sweep position, so editing
+  // the sweep cannot silently change what the speedup metric compares.
+  auto point_for = [&points](uint32_t partitions) -> const SweepPoint* {
+    for (const SweepPoint& p : points) {
+      if (p.partitions == partitions) {
+        return &p;
+      }
+    }
+    return nullptr;
+  };
+  const SweepPoint* p1 = point_for(1);
+  const SweepPoint* p4 = point_for(4);
+  double speedup = (p1 != nullptr && p4 != nullptr && p1->sim_commands_per_sec > 0)
+                       ? p4->sim_commands_per_sec / p1->sim_commands_per_sec
+                       : 0;
+  std::printf("\nP=4 vs P=1: %.2fx sim-commands/sec (acceptance floor: 1.5x)\n",
+              speedup);
+
+  bench::BenchJsonWriter json("shard");
+  for (const SweepPoint& p : points) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "shard_sweep_p%u", p.partitions);
+    json.Add(name,
+             p.completed > 0 ? p.wall_sec * 1e9 / static_cast<double>(p.completed) : 0,
+             /*bytes_per_sec=*/0, /*items_per_sec=*/p.sim_commands_per_sec);
+  }
+  json.Add("shard_sweep_speedup_p4_vs_p1", 0, 0, speedup);
+  json.WriteOut();
+  return 0;
+}

@@ -1,0 +1,183 @@
+// Open-addressed flat hash map keyed by command identifiers (Dots).
+//
+// The engines' per-command state (`infos_`, the decided-value cache) used to live in
+// std::unordered_map, whose node-per-entry layout was the largest remaining
+// steady-state allocation on the commit hot path and the top cache-miss source in
+// profiles. DotMap stores {Dot, V} slots inline in one power-of-two array with linear
+// probing; an invalid Dot (proc == kInvalidProcess, which no real command carries)
+// marks an empty slot, and erase uses backward-shift deletion, so there are no
+// tombstones and probe chains stay short. Inserting allocates only when the table
+// grows past its 70% load factor — the steady state performs no allocation at all.
+//
+// Reference stability: rehashing and erasure move values, so references returned by
+// operator[]/Find are invalidated by any later insert or erase (unlike
+// std::unordered_map). Callers must not hold references across mutating calls; the
+// engines copy into per-engine scratch where that pattern used to be relied upon.
+#ifndef SRC_COMMON_DOT_MAP_H_
+#define SRC_COMMON_DOT_MAP_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace common {
+
+template <class V>
+class DotMap {
+ public:
+  struct Slot {
+    Dot key;  // !key.valid() marks an empty slot
+    V value;
+  };
+
+  DotMap() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    slots_.clear();
+    mask_ = 0;
+    size_ = 0;
+  }
+
+  // Returns the value for `key`, default-constructing it on first access. A lookup
+  // of an existing key never mutates the table (and never invalidates references);
+  // the table only grows when the key is genuinely new.
+  V& operator[](const Dot& key) {
+    CHECK(key.valid());
+    if (slots_.empty()) {
+      Rehash(kInitialCapacity);
+    }
+    size_t i = ProbeStart(key);
+    while (slots_[i].key.valid()) {
+      if (slots_[i].key == key) {
+        return slots_[i].value;
+      }
+      i = (i + 1) & mask_;
+    }
+    if ((size_ + 1) * 10 >= slots_.size() * 7) {
+      Rehash(slots_.size() * 2);
+      i = ProbeStart(key);
+      while (slots_[i].key.valid()) {
+        i = (i + 1) & mask_;
+      }
+    }
+    slots_[i].key = key;
+    size_++;
+    return slots_[i].value;
+  }
+
+  V* Find(const Dot& key) {
+    return const_cast<V*>(static_cast<const DotMap*>(this)->Find(key));
+  }
+  const V* Find(const Dot& key) const {
+    if (size_ == 0) {
+      return nullptr;
+    }
+    size_t i = ProbeStart(key);
+    while (slots_[i].key.valid()) {
+      if (slots_[i].key == key) {
+        return &slots_[i].value;
+      }
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  bool Contains(const Dot& key) const { return Find(key) != nullptr; }
+
+  // Removes `key` if present. Backward-shift deletion: entries displaced past the
+  // vacated slot are moved back so lookups never need tombstone skipping.
+  bool Erase(const Dot& key) {
+    if (size_ == 0) {
+      return false;
+    }
+    size_t i = ProbeStart(key);
+    while (slots_[i].key.valid() && slots_[i].key != key) {
+      i = (i + 1) & mask_;
+    }
+    if (!slots_[i].key.valid()) {
+      return false;
+    }
+    size_t hole = i;
+    size_t j = (i + 1) & mask_;
+    while (slots_[j].key.valid()) {
+      size_t home = ProbeStart(slots_[j].key);
+      // Shift j into the hole iff its home position does not lie in (hole, j]
+      // (cyclically) — i.e. the probe chain passed through the hole.
+      if (!InCyclicRange(home, hole, j)) {
+        slots_[hole] = std::move(slots_[j]);
+        slots_[j].key = Dot{};
+        slots_[j].value = V();
+        hole = j;
+      }
+      j = (j + 1) & mask_;
+    }
+    slots_[hole].key = Dot{};
+    slots_[hole].value = V();
+    size_--;
+    return true;
+  }
+
+  // Iteration: visits occupied slots in table order (an arbitrary but deterministic
+  // function of the insertion history). Mutating the map invalidates iterators.
+  template <class Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.key.valid()) {
+        fn(s.key, s.value);
+      }
+    }
+  }
+
+  // Pre-sizes the table for `n` entries (no-op if already large enough).
+  void Reserve(size_t n) {
+    size_t want = kInitialCapacity;
+    while (want * 7 / 10 < n) {
+      want *= 2;
+    }
+    if (want > slots_.size()) {
+      Rehash(want);
+    }
+  }
+
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  static constexpr size_t kInitialCapacity = 16;
+
+  size_t ProbeStart(const Dot& key) const { return DotHash{}(key)&mask_; }
+
+  // True iff x lies in the half-open cyclic interval (lo, hi].
+  static bool InCyclicRange(size_t x, size_t lo, size_t hi) {
+    if (lo <= hi) {
+      return lo < x && x <= hi;
+    }
+    return lo < x || x <= hi;
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.clear();
+    slots_.resize(new_capacity);
+    mask_ = new_capacity - 1;
+    size_ = 0;
+    for (Slot& s : old) {
+      if (s.key.valid()) {
+        (*this)[s.key] = std::move(s.value);
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;  // power-of-two size
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace common
+
+#endif  // SRC_COMMON_DOT_MAP_H_

@@ -77,13 +77,13 @@ AtlasEngine::Phase AtlasEngine::PhaseOf(const Dot& dot) const {
   if (executor_.IsCommitted(dot)) {
     return Phase::kCommit;
   }
-  auto it = infos_.find(dot);
-  return it == infos_.end() ? Phase::kStart : it->second.phase;
+  const Info* info = infos_.Find(dot);
+  return info == nullptr ? Phase::kStart : info->phase;
 }
 
 DepSet AtlasEngine::CommittedDeps(const Dot& dot) const {
-  auto it = decided_.find(dot);
-  return it == decided_.end() ? DepSet{} : it->second.deps;
+  const Decided* d = decided_.Find(dot);
+  return d == nullptr ? DepSet{} : d->deps;
 }
 
 // ---------------------------------------------------------------------------
@@ -145,11 +145,11 @@ void AtlasEngine::HandleMCollect(ProcessId from, const msg::MCollect& m) {
 }
 
 void AtlasEngine::HandleMCollectAck(ProcessId from, const msg::MCollectAck& m) {
-  auto it = infos_.find(m.dot);
-  if (it == infos_.end()) {
+  Info* found = infos_.Find(m.dot);
+  if (found == nullptr) {
     return;
   }
-  Info& info = it->second;
+  Info& info = *found;
   // Preconditions (line 13): still in collect phase at the coordinator, ack from a fast
   // quorum member, not a duplicate.
   if (info.phase != Phase::kCollect || m.dot.proc != self_ ||
@@ -230,12 +230,12 @@ void AtlasEngine::ProposeConsensus(const Dot& dot, Info& info, const smr::Comman
 void AtlasEngine::HandleMConsensus(ProcessId from, const msg::MConsensus& m) {
   if (CommittedOrExecuted(m.dot)) {
     // The value is already decided; tell the proposer directly (mirrors lines 34-36).
-    auto it = decided_.find(m.dot);
-    if (it != decided_.end()) {
+    const Decided* d = decided_.Find(m.dot);
+    if (d != nullptr) {
       msg::MCommit commit;
       commit.dot = m.dot;
-      commit.cmd = it->second.cmd;
-      commit.deps = it->second.deps;
+      commit.cmd = d->cmd;
+      commit.deps = d->deps;
       SendTo(from, commit);
     }
     return;
@@ -255,11 +255,11 @@ void AtlasEngine::HandleMConsensus(ProcessId from, const msg::MConsensus& m) {
 }
 
 void AtlasEngine::HandleMConsensusAck(ProcessId from, const msg::MConsensusAck& m) {
-  auto it = infos_.find(m.dot);
-  if (it == infos_.end()) {
+  Info* found = infos_.Find(m.dot);
+  if (found == nullptr) {
     return;
   }
-  Info& info = it->second;
+  Info& info = *found;
   // Precondition (line 26): the ack matches my outstanding proposal and nothing with a
   // higher ballot has preempted me.
   if (info.proposal_ballot != m.ballot || info.bal != m.ballot ||
@@ -300,35 +300,45 @@ void AtlasEngine::ApplyCommit(const Dot& dot, const smr::Command& cmd, const Dep
   if (CommittedOrExecuted(dot)) {  // precondition, line 29
     return;
   }
+  // Copy into per-engine scratch before touching infos_: the slow-path and recovery
+  // flows pass references into Info storage, which the flat map moves on rehash.
+  // The scratch reuses its capacity, so this allocates nothing in steady state.
+  commit_cmd_scratch_ = cmd;
+  commit_deps_scratch_ = deps;
   Info& info = GetInfo(dot);
-  info.cmd = cmd;
-  info.deps = deps;
+  info.cmd = commit_cmd_scratch_;
+  info.deps = commit_deps_scratch_;
   info.phase = Phase::kCommit;  // line 30
-  decided_[dot] = Decided{cmd, deps};
+  const bool was_locally_submitted = info.locally_submitted;
+  Decided& d = decided_[dot];
+  d.cmd = commit_cmd_scratch_;
+  d.deps = commit_deps_scratch_;
   decided_order_.push_back(dot);
   while (decided_order_.size() > decided_cache_limit_) {
-    decided_.erase(decided_order_.front());
+    decided_.Erase(decided_order_.front());
     decided_order_.pop_front();
   }
   // Commands learned only at commit time still enter the conflict index: they are
   // non-start identifiers, so later conflicts() calls must report them. NFR reads are
   // never tracked.
-  if (!NfrRead(cmd)) {
-    index_->Record(dot, cmd);
+  if (!NfrRead(commit_cmd_scratch_)) {
+    index_->Record(dot, commit_cmd_scratch_);
   }
   stats_.committed++;
-  if (cmd.is_noop()) {
+  if (commit_cmd_scratch_.is_noop()) {
     stats_.noops_committed++;
   }
-  ctx_->Committed(dot, cmd, fast_path);
-  if (info.locally_submitted && cmd.is_noop() && !info.submitted_cmd.is_noop()) {
+  ctx_->Committed(dot, commit_cmd_scratch_, fast_path);
+  if (was_locally_submitted && commit_cmd_scratch_.is_noop() &&
+      !info.submitted_cmd.is_noop()) {
     // Recovery replaced our submitted command with noOp before any process saw its
     // payload: it will never execute under this dot. The driver may resubmit.
     ctx_->Dropped(dot, info.submitted_cmd);
   }
   // Every dependency must eventually commit for `dot` to execute; make sure we track
-  // unknown dependencies so the recovery scan can find them if their coordinator fails.
-  for (const Dot& dep : deps) {
+  // unknown dependencies so the recovery scan can find them if their coordinator
+  // fails. Inserting may rehash infos_, so `info` is dead from here on.
+  for (const Dot& dep : commit_deps_scratch_) {
     if (!CommittedOrExecuted(dep)) {
       GetInfo(dep);
       if (suspected_.count(dep.proc) > 0) {
@@ -337,12 +347,12 @@ void AtlasEngine::ApplyCommit(const Dot& dot, const smr::Command& cmd, const Dep
     }
   }
   // This call may execute `dot` (and others), erasing their infos_ entries.
-  executor_.Commit(dot, cmd, deps);
+  executor_.Commit(dot, commit_cmd_scratch_, commit_deps_scratch_);
 }
 
 void AtlasEngine::OnExecuteFromGraph(const Dot& dot, const smr::Command& cmd) {
   stats_.executed++;
-  infos_.erase(dot);  // phase tracked by the executor from here on
+  infos_.Erase(dot);  // phase tracked by the executor from here on
   ctx_->Executed(dot, cmd);
 }
 
@@ -371,12 +381,12 @@ void AtlasEngine::Recover(const Dot& dot) {
 void AtlasEngine::HandleMRec(ProcessId from, const msg::MRec& m) {
   // Lines 34-36: already decided, short-circuit with MCommit.
   if (CommittedOrExecuted(m.dot)) {
-    auto it = decided_.find(m.dot);
-    if (it != decided_.end()) {
+    const Decided* d = decided_.Find(m.dot);
+    if (d != nullptr) {
       msg::MCommit commit;
       commit.dot = m.dot;
-      commit.cmd = it->second.cmd;
-      commit.deps = it->second.deps;
+      commit.cmd = d->cmd;
+      commit.deps = d->deps;
       SendTo(from, commit);
     }
     // Beyond the decided cache horizon: stay silent; the recoverer learns the value
@@ -407,11 +417,11 @@ void AtlasEngine::HandleMRec(ProcessId from, const msg::MRec& m) {
 }
 
 void AtlasEngine::HandleMRecAck(ProcessId from, const msg::MRecAck& m) {
-  auto it = infos_.find(m.dot);
-  if (it == infos_.end()) {
+  Info* found = infos_.Find(m.dot);
+  if (found == nullptr) {
     return;
   }
-  Info& info = it->second;
+  Info& info = *found;
   // Precondition (line 46): acks for my outstanding recovery ballot, not preempted.
   if (info.rec_ballot != m.ballot || info.bal != m.ballot ||
       info.rec_acked.Contains(from)) {
@@ -515,19 +525,22 @@ bool AtlasEngine::RecoveryScan() {
   std::vector<Dot> to_recover;
   bool any_pending = false;
   common::Time now = ctx_->Now();
-  for (const auto& [dot, info] : infos_) {
+  infos_.ForEach([&](const Dot& dot, const Info& info) {
     if (info.phase == Phase::kCommit || info.phase == Phase::kExecute) {
-      continue;
+      return;
     }
     if (suspected_.count(dot.proc) == 0) {
-      continue;
+      return;
     }
     any_pending = true;
     if (info.next_recovery_at > now) {
-      continue;
+      return;
     }
     to_recover.push_back(dot);
-  }
+  });
+  // Flat-map iteration order depends on the table layout; recover in canonical dot
+  // order so seeded crash runs stay reproducible across map implementations.
+  std::sort(to_recover.begin(), to_recover.end());
   for (const Dot& dot : to_recover) {
     Recover(dot);
   }
@@ -539,25 +552,25 @@ bool AtlasEngine::RecoveryScan() {
 void AtlasEngine::OnMessage(ProcessId from, const msg::Message& m) {
   switch (m.index()) {
     case 0:
-      HandleMCollect(from, std::get<msg::MCollect>(m));
+      HandleMCollect(from, msg::get<msg::MCollect>(m));
       break;
     case 1:
-      HandleMCollectAck(from, std::get<msg::MCollectAck>(m));
+      HandleMCollectAck(from, msg::get<msg::MCollectAck>(m));
       break;
     case 2:
-      HandleMConsensus(from, std::get<msg::MConsensus>(m));
+      HandleMConsensus(from, msg::get<msg::MConsensus>(m));
       break;
     case 3:
-      HandleMConsensusAck(from, std::get<msg::MConsensusAck>(m));
+      HandleMConsensusAck(from, msg::get<msg::MConsensusAck>(m));
       break;
     case 4:
-      HandleMCommit(from, std::get<msg::MCommit>(m));
+      HandleMCommit(from, msg::get<msg::MCommit>(m));
       break;
     case 5:
-      HandleMRec(from, std::get<msg::MRec>(m));
+      HandleMRec(from, msg::get<msg::MRec>(m));
       break;
     case 6:
-      HandleMRecAck(from, std::get<msg::MRecAck>(m));
+      HandleMRecAck(from, msg::get<msg::MRecAck>(m));
       break;
     default:
       break;  // not an Atlas message

@@ -13,11 +13,11 @@
 
 #include <deque>
 #include <memory>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "src/common/dep_set.h"
+#include "src/common/dot_map.h"
 #include "src/common/quorum.h"
 #include "src/common/types.h"
 #include "src/core/config.h"
@@ -101,6 +101,9 @@ class AtlasEngine final : public smr::Engine {
   bool RecoveryScan();
   void ArmScanTimer();
 
+  // DotMap references are invalidated by later inserts/erases (rehash moves slots);
+  // handlers must not hold the returned reference across calls that may mutate
+  // infos_ (see ApplyCommit's copy-into-scratch discipline).
   Info& GetInfo(const common::Dot& dot) { return infos_[dot]; }
   bool CommittedOrExecuted(const common::Dot& dot) const;
 
@@ -118,9 +121,17 @@ class AtlasEngine final : public smr::Engine {
   // steady-state submit/collect/commit path performs no heap allocation.
   common::DepScratch dep_scratch_;
   common::DepSet scratch_deps_;
+  // Commit-path scratch: ApplyCommit's cmd/deps arguments may alias storage inside
+  // infos_ (the slow-path/recovery flows pass info.cmd / info.deps), which a DotMap
+  // rehash would move; the values are copied here first. Capacity is reused, so the
+  // copies allocate nothing in steady state.
+  smr::Command commit_cmd_scratch_;
+  common::DepSet commit_deps_scratch_;
 
   uint64_t next_seq_ = 1;
-  std::unordered_map<common::Dot, Info, common::DotHash> infos_;
+  // Open-addressed flat maps (see dot_map.h): per-command protocol state and the
+  // decided-value cache were the last per-command node allocations on the hot path.
+  common::DotMap<Info> infos_;
   std::unordered_set<common::ProcessId> suspected_;
   bool scan_timer_armed_ = false;
 
@@ -132,7 +143,7 @@ class AtlasEngine final : public smr::Engine {
     smr::Command cmd;
     common::DepSet deps;
   };
-  std::unordered_map<common::Dot, Decided, common::DotHash> decided_;
+  common::DotMap<Decided> decided_;
   std::deque<common::Dot> decided_order_;
   size_t decided_cache_limit_ = 1 << 17;
 

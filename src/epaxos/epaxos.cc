@@ -386,19 +386,19 @@ void EPaxosEngine::HandlePrepareAck(ProcessId from, const msg::EpPrepareAck& m) 
 }
 
 void EPaxosEngine::OnMessage(ProcessId from, const msg::Message& m) {
-  if (auto* v = std::get_if<msg::EpPreAccept>(&m)) {
+  if (auto* v = msg::get_if<msg::EpPreAccept>(&m)) {
     HandlePreAccept(from, *v);
-  } else if (auto* v = std::get_if<msg::EpPreAcceptAck>(&m)) {
+  } else if (auto* v = msg::get_if<msg::EpPreAcceptAck>(&m)) {
     HandlePreAcceptAck(from, *v);
-  } else if (auto* v = std::get_if<msg::EpAccept>(&m)) {
+  } else if (auto* v = msg::get_if<msg::EpAccept>(&m)) {
     HandleAccept(from, *v);
-  } else if (auto* v = std::get_if<msg::EpAcceptAck>(&m)) {
+  } else if (auto* v = msg::get_if<msg::EpAcceptAck>(&m)) {
     HandleAcceptAck(from, *v);
-  } else if (auto* v = std::get_if<msg::EpCommit>(&m)) {
+  } else if (auto* v = msg::get_if<msg::EpCommit>(&m)) {
     HandleCommit(from, *v);
-  } else if (auto* v = std::get_if<msg::EpPrepare>(&m)) {
+  } else if (auto* v = msg::get_if<msg::EpPrepare>(&m)) {
     HandlePrepare(from, *v);
-  } else if (auto* v = std::get_if<msg::EpPrepareAck>(&m)) {
+  } else if (auto* v = msg::get_if<msg::EpPrepareAck>(&m)) {
     HandlePrepareAck(from, *v);
   }
 }

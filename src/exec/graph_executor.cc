@@ -12,7 +12,7 @@ GraphExecutor::GraphExecutor(BatchOrder order, ExecuteFn execute)
 }
 
 bool GraphExecutor::IsCommitted(const common::Dot& dot) const {
-  return executed_.Contains(dot) || nodes_.count(dot) > 0;
+  return executed_.Contains(dot) || nodes_.Contains(dot);
 }
 
 void GraphExecutor::Commit(const common::Dot& dot, smr::Command cmd, common::DepSet deps,
@@ -20,11 +20,10 @@ void GraphExecutor::Commit(const common::Dot& dot, smr::Command cmd, common::Dep
   if (IsCommitted(dot)) {
     return;
   }
-  Node node;
+  Node& node = nodes_[dot];
   node.cmd = std::move(cmd);
   node.deps = std::move(deps);
   node.seqno = seqno;
-  nodes_.emplace(dot, std::move(node));
   pending_count_++;
 
   std::optional<common::Dot> missing = TryExecute(dot);
@@ -33,10 +32,10 @@ void GraphExecutor::Commit(const common::Dot& dot, smr::Command cmd, common::Dep
     // there). Anything parked on `dot` is blocked on `missing` too: transfer the
     // waiter list wholesale instead of re-walking each waiter — this keeps adversarial
     // commit orders (e.g. a long chain committed in reverse) linear instead of cubic.
-    auto it = waiters_.find(dot);
-    if (it != waiters_.end()) {
-      std::vector<common::Dot> moved = std::move(it->second);
-      waiters_.erase(it);
+    std::vector<common::Dot>* parked = waiters_.Find(dot);
+    if (parked != nullptr) {
+      std::vector<common::Dot> moved = std::move(*parked);
+      waiters_.Erase(dot);
       std::vector<common::Dot>& dst = waiters_[*missing];
       if (dst.empty()) {
         dst = std::move(moved);
@@ -53,14 +52,14 @@ void GraphExecutor::Commit(const common::Dot& dot, smr::Command cmd, common::Dep
   while (!progressed_.empty()) {
     common::Dot d = progressed_.back();
     progressed_.pop_back();
-    auto it = waiters_.find(d);
-    if (it == waiters_.end()) {
+    std::vector<common::Dot>* parked = waiters_.Find(d);
+    if (parked == nullptr) {
       continue;
     }
-    std::vector<common::Dot> retry = std::move(it->second);
-    waiters_.erase(it);
+    std::vector<common::Dot> retry = std::move(*parked);
+    waiters_.Erase(d);
     for (const common::Dot& w : retry) {
-      if (nodes_.count(w) > 0) {
+      if (nodes_.Contains(w)) {
         TryExecute(w);
       }
     }
@@ -68,7 +67,8 @@ void GraphExecutor::Commit(const common::Dot& dot, smr::Command cmd, common::Dep
 }
 
 std::optional<common::Dot> GraphExecutor::TryExecute(const common::Dot& root) {
-  if (nodes_.count(root) == 0) {
+  Node* root_node = nodes_.Find(root);
+  if (root_node == nullptr) {
     return std::nullopt;
   }
   epoch_++;
@@ -97,28 +97,30 @@ std::optional<common::Dot> GraphExecutor::TryExecute(const common::Dot& root) {
     walk_stack_.push_back(Frame{d, 0});
   };
 
-  push_node(root, nodes_.at(root));
+  push_node(root, *root_node);
 
   while (!walk_stack_.empty()) {
     Frame& frame = walk_stack_.back();
-    Node& node = nodes_.at(frame.dot);
+    // The walk never mutates nodes_ (waiters_ is a separate map), so these
+    // references stay valid for the loop body.
+    Node& node = *nodes_.Find(frame.dot);
     if (frame.dep_index < node.deps.size()) {
       const common::Dot& dep = node.deps.dots()[frame.dep_index++];
       if (executed_.Contains(dep)) {
         continue;
       }
-      auto dep_it = nodes_.find(dep);
-      if (dep_it == nodes_.end()) {
+      Node* dep_found = nodes_.Find(dep);
+      if (dep_found == nullptr) {
         // Uncommitted dependency: the batch containing root cannot form yet.
         waiters_[dep].push_back(root);
         // Clear on_stack flags for a clean next epoch (epoch check handles the rest).
         for (const common::Dot& d : tarjan_stack_) {
-          nodes_.at(d).on_stack = false;
+          nodes_.Find(d)->on_stack = false;
         }
         in_walk_ = false;
         return dep;
       }
-      Node& dep_node = dep_it->second;
+      Node& dep_node = *dep_found;
       if (dep_node.visit_epoch != epoch_) {
         push_node(dep, dep_node);
       } else if (dep_node.on_stack) {
@@ -132,14 +134,14 @@ std::optional<common::Dot> GraphExecutor::TryExecute(const common::Dot& root) {
     common::Dot done = frame.dot;
     walk_stack_.pop_back();
     if (!walk_stack_.empty()) {
-      Node& parent = nodes_.at(walk_stack_.back().dot);
+      Node& parent = *nodes_.Find(walk_stack_.back().dot);
       parent.lowlink = std::min(parent.lowlink, lowlink);
     }
     if (lowlink == index) {
       while (true) {
         common::Dot d = tarjan_stack_.back();
         tarjan_stack_.pop_back();
-        nodes_.at(d).on_stack = false;
+        nodes_.Find(d)->on_stack = false;
         batch_dots_.push_back(d);
         if (d == done) {
           break;
@@ -165,8 +167,8 @@ void GraphExecutor::RunBatch(common::Dot* begin, common::Dot* end) {
     std::sort(begin, end);
   } else {
     std::sort(begin, end, [this](const common::Dot& a, const common::Dot& b) {
-      const Node& na = nodes_.at(a);
-      const Node& nb = nodes_.at(b);
+      const Node& na = *nodes_.Find(a);
+      const Node& nb = *nodes_.Find(b);
       if (na.seqno != nb.seqno) {
         return na.seqno < nb.seqno;
       }
@@ -176,15 +178,15 @@ void GraphExecutor::RunBatch(common::Dot* begin, common::Dot* end) {
   max_batch_ = std::max(max_batch_, static_cast<size_t>(end - begin));
   for (common::Dot* cur = begin; cur != end; ++cur) {
     const common::Dot& d = *cur;
-    auto it = nodes_.find(d);
-    CHECK(it != nodes_.end());
-    execute_(d, it->second.cmd);
+    Node* node = nodes_.Find(d);
+    CHECK(node != nullptr);
+    execute_(d, node->cmd);
     executed_.Insert(d);
     executed_count_++;
-    nodes_.erase(it);
+    nodes_.Erase(d);
     CHECK_GT(pending_count_, 0u);
     pending_count_--;
-    if (waiters_.count(d) > 0) {
+    if (waiters_.Contains(d)) {
       progressed_.push_back(d);
     }
   }

@@ -21,10 +21,10 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/dep_set.h"
+#include "src/common/dot_map.h"
 #include "src/common/dot_set.h"
 #include "src/common/types.h"
 #include "src/smr/command.h"
@@ -76,12 +76,16 @@ class GraphExecutor {
   BatchOrder order_;
   ExecuteFn execute_;
 
-  std::unordered_map<common::Dot, Node, common::DotHash> nodes_;  // committed, pending
+  // Committed-but-unexecuted nodes in an open-addressed flat map (src/common/
+  // dot_map.h): the commit/execute hot path allocates no per-node hash buckets, and
+  // probes hit one contiguous array. References into it are invalidated by rehash;
+  // the walk below only holds them between mutations.
+  common::DotMap<Node> nodes_;
   // Executed dots are dense per process, so a bitmap set beats a node-based hash set
   // and inserts without per-element allocation (the execute hot path).
   common::DenseDotSet executed_;
   // dep dot -> dots whose execution attempt parked on it.
-  std::unordered_map<common::Dot, std::vector<common::Dot>, common::DotHash> waiters_;
+  common::DotMap<std::vector<common::Dot>> waiters_;
 
   uint64_t epoch_ = 0;
   size_t pending_count_ = 0;

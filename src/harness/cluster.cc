@@ -28,8 +28,11 @@ const char* ProtocolName(Protocol p) {
   return "?";
 }
 
-Cluster::Cluster(ClusterOptions opts) : opts_(std::move(opts)) {
+Cluster::Cluster(ClusterOptions opts)
+    : opts_(std::move(opts)), partitioner_(opts_.partitions) {
   CHECK_GE(opts_.site_regions.size(), 3u);
+  CHECK_GE(opts_.partitions, 1u);
+  CHECK_LE(opts_.partitions, smr::ShardedEngine::kMaxPartitions);
   sim::Simulator::Options sim_opts;
   sim_opts.seed = opts_.seed;
   sim_opts.fifo_links = opts_.fifo_links;
@@ -40,13 +43,18 @@ Cluster::Cluster(ClusterOptions opts) : opts_(std::move(opts)) {
 
   uint32_t n = this->n();
   for (uint32_t i = 0; i < n; i++) {
-    stores_.push_back(std::make_unique<kvs::KvStore>());
+    for (uint32_t s = 0; s < opts_.partitions; s++) {
+      stores_.push_back(std::make_unique<kvs::KvStore>());
+    }
     site_throughput_.emplace_back(common::kSecond);
   }
+  applied_counts_.assign(static_cast<size_t>(n) * opts_.partitions, 0);
   site_alive_.assign(n, true);
   if (opts_.enable_checker) {
-    checker_ = std::make_unique<chk::HistoryChecker>(n);
-    checker_->SetNfrMode(opts_.nfr);
+    for (uint32_t s = 0; s < opts_.partitions; s++) {
+      checkers_.push_back(std::make_unique<chk::HistoryChecker>(n));
+      checkers_.back()->SetNfrMode(opts_.nfr);
+    }
   }
   BuildEngines();
 }
@@ -58,9 +66,25 @@ void Cluster::BuildEngines() {
   const sim::LatencyModel& lat = sim_->latency();
 
   std::vector<size_t> client_regions = sim::ClientSites();
-  switch (opts_.protocol) {
-    case Protocol::kAtlas: {
-      for (uint32_t i = 0; i < n; i++) {
+  // One base Paxos config shared by leader selection and engine construction, so the
+  // quorum geometry used to pick the fairest leader is the one the engines run.
+  paxos::Config paxos_base;
+  paxos_base.n = n;
+  paxos_base.f = opts_.f;
+  paxos_base.mode = opts_.protocol == Protocol::kFPaxos ? paxos::QuorumMode::kFlexible
+                                                        : paxos::QuorumMode::kClassic;
+  if (opts_.protocol == Protocol::kFPaxos || opts_.protocol == Protocol::kPaxos) {
+    leader_ = opts_.leader != common::kInvalidProcess
+                  ? opts_.leader
+                  : FairestLeader(opts_.site_regions, client_regions,
+                                  paxos_base.Phase2Size());
+  }
+
+  // One protocol engine for site i (one partition's worth of it on sharded
+  // deployments; every partition of a site gets an identical configuration).
+  auto make_engine = [&, this](uint32_t i) -> std::unique_ptr<smr::Engine> {
+    switch (opts_.protocol) {
+      case Protocol::kAtlas: {
         atlas::Config cfg;
         cfg.n = n;
         cfg.f = opts_.f;
@@ -68,47 +92,44 @@ void Cluster::BuildEngines() {
         cfg.prune_slow_path = opts_.prune_slow_path;
         cfg.index_mode = opts_.index_mode;
         cfg.by_proximity = ByProximity(lat, n, i);
-        engines_.push_back(std::make_unique<atlas::AtlasEngine>(cfg));
+        return std::make_unique<atlas::AtlasEngine>(cfg);
       }
-      break;
-    }
-    case Protocol::kEPaxos: {
-      for (uint32_t i = 0; i < n; i++) {
+      case Protocol::kEPaxos: {
         epaxos::Config cfg;
         cfg.n = n;
         cfg.nfr = opts_.nfr;
         cfg.index_mode = opts_.index_mode;
         cfg.by_proximity = ByProximity(lat, n, i);
-        engines_.push_back(std::make_unique<epaxos::EPaxosEngine>(cfg));
+        return std::make_unique<epaxos::EPaxosEngine>(cfg);
       }
-      break;
-    }
-    case Protocol::kFPaxos:
-    case Protocol::kPaxos: {
-      paxos::Config base;
-      base.n = n;
-      base.f = opts_.f;
-      base.mode = opts_.protocol == Protocol::kFPaxos ? paxos::QuorumMode::kFlexible
-                                                      : paxos::QuorumMode::kClassic;
-      leader_ = opts_.leader != common::kInvalidProcess
-                    ? opts_.leader
-                    : FairestLeader(opts_.site_regions, client_regions,
-                                    base.Phase2Size());
-      for (uint32_t i = 0; i < n; i++) {
-        paxos::Config cfg = base;
+      case Protocol::kFPaxos:
+      case Protocol::kPaxos: {
+        paxos::Config cfg = paxos_base;
         cfg.initial_leader = leader_;
         cfg.by_proximity = ByProximity(lat, n, i);
-        engines_.push_back(std::make_unique<paxos::PaxosEngine>(cfg));
+        return std::make_unique<paxos::PaxosEngine>(cfg);
       }
-      break;
-    }
-    case Protocol::kMencius: {
-      for (uint32_t i = 0; i < n; i++) {
+      case Protocol::kMencius: {
         mencius::Config cfg;
         cfg.n = n;
-        engines_.push_back(std::make_unique<mencius::MenciusEngine>(cfg));
+        return std::make_unique<mencius::MenciusEngine>(cfg);
       }
-      break;
+    }
+    return nullptr;
+  };
+
+  for (uint32_t i = 0; i < n; i++) {
+    if (opts_.partitions == 1) {
+      // Classic single-engine replica: exactly the seeded deployment, no wrapper in
+      // the message path (the determinism pins rely on this).
+      engines_.push_back(make_engine(i));
+    } else {
+      smr::ShardedOptions so;
+      so.partitions = opts_.partitions;
+      so.batch_window = opts_.batch_window;
+      so.batch_max = opts_.batch_max;
+      engines_.push_back(std::make_unique<smr::ShardedEngine>(
+          so, [&make_engine, i](uint32_t) { return make_engine(i); }));
     }
   }
 
@@ -159,9 +180,9 @@ void Cluster::IssueNext(uint64_t client_index) {
   c.current = c.workload->Next(c.id, c.next_seq++, sim_->rng());
   c.submit_time = sim_->Now();
   pending_[chk::CmdKey{c.current.client, c.current.seq}] = client_index;
-  if (checker_ != nullptr) {
-    checker_->OnSubmit(c.current, c.submit_time,
-                       static_cast<common::ProcessId>(c.site));
+  if (!checkers_.empty()) {
+    checkers_[ShardOfCmd(c.current)]->OnSubmit(c.current, c.submit_time,
+                                               static_cast<common::ProcessId>(c.site));
   }
   common::Duration oneway =
       ClientOneWay(c.region, opts_.site_regions[c.site]);
@@ -195,6 +216,20 @@ void Cluster::IssueNext(uint64_t client_index) {
 
 void Cluster::OnCommitted(common::ProcessId p, const common::Dot& dot,
                           const smr::Command& cmd, bool fast) {
+  if (cmd.is_batch()) {
+    // A batch commit commits every client command it carries; record each one's
+    // commit latency (its own scratch: the Committed hook fires mid-ApplyCommit,
+    // and OnExecuted may unpack into batch_scratch_ later in the same call chain).
+    CHECK(smr::UnpackBatch(cmd, commit_batch_scratch_));
+    for (const smr::Command& sub : commit_batch_scratch_) {
+      CommitOne(p, sub);
+    }
+    return;
+  }
+  CommitOne(p, cmd);
+}
+
+void Cluster::CommitOne(common::ProcessId p, const smr::Command& cmd) {
   auto it = pending_.find(chk::CmdKey{cmd.client, cmd.seq});
   if (it == pending_.end()) {
     return;
@@ -211,9 +246,27 @@ void Cluster::OnCommitted(common::ProcessId p, const common::Dot& dot,
 
 void Cluster::OnExecuted(common::ProcessId p, const common::Dot& dot,
                          const smr::Command& cmd) {
-  stores_[p]->Apply(cmd);
-  if (checker_ != nullptr) {
-    checker_->OnExecute(p, cmd, sim_->Now());
+  if (cmd.is_batch()) {
+    // Composite submission batch (sharded replicas): unpack and account each client
+    // command individually — store apply, checker history, client completion.
+    CHECK(smr::UnpackBatch(cmd, batch_scratch_));
+    for (const smr::Command& sub : batch_scratch_) {
+      ApplyExecuted(p, dot, sub);
+    }
+    return;
+  }
+  ApplyExecuted(p, dot, cmd);
+}
+
+void Cluster::ApplyExecuted(common::ProcessId p, const common::Dot& dot,
+                            const smr::Command& cmd) {
+  uint32_t shard = ShardOfCmd(cmd);
+  stores_[StoreIndex(p, shard)]->Apply(cmd);
+  if (!cmd.is_noop()) {
+    applied_counts_[StoreIndex(p, shard)]++;
+  }
+  if (!checkers_.empty()) {
+    checkers_[shard]->OnExecute(p, cmd, sim_->Now());
     exec_trace_.push_back(ExecRecord{p, dot, cmd});
   }
   if (cmd.is_noop()) {
@@ -261,6 +314,19 @@ void Cluster::CompleteClient(uint64_t client_index, common::Time completion_time
 
 void Cluster::OnDropped(common::ProcessId p, const common::Dot& dot,
                         const smr::Command& orig) {
+  if (orig.is_batch()) {
+    // A dropped batch drops every client command it carried; resubmit each.
+    std::vector<smr::Command> subs;  // not batch_scratch_: DropOne may reenter via Submit
+    CHECK(smr::UnpackBatch(orig, subs));
+    for (const smr::Command& sub : subs) {
+      DropOne(sub);
+    }
+    return;
+  }
+  DropOne(orig);
+}
+
+void Cluster::DropOne(const smr::Command& orig) {
   // The command was replaced by noOp during recovery and will never execute; resubmit
   // it under a fresh sequence number if its client is still waiting.
   auto it = pending_.find(chk::CmdKey{orig.client, orig.seq});
@@ -350,14 +416,29 @@ Metrics Cluster::Snapshot() const {
   uint64_t slow = 0;
   uint64_t executed = 0;
   size_t max_batch = 0;
+  if (opts_.partitions > 1) {
+    m.per_shard.assign(opts_.partitions, smr::EngineStats{});
+  }
   for (uint32_t p = 0; p < n(); p++) {
     const smr::EngineStats& s = engines_[p]->stats();
     fast += s.fast_paths;
     slow += s.slow_paths;
     executed += s.executed;
-    if (opts_.protocol == Protocol::kAtlas) {
-      max_batch = std::max(
-          max_batch, static_cast<const atlas::AtlasEngine&>(*engines_[p]).MaxBatch());
+    if (opts_.partitions == 1) {
+      if (opts_.protocol == Protocol::kAtlas) {
+        max_batch = std::max(
+            max_batch, static_cast<const atlas::AtlasEngine&>(*engines_[p]).MaxBatch());
+      }
+      continue;
+    }
+    const auto& sharded = static_cast<const smr::ShardedEngine&>(*engines_[p]);
+    for (uint32_t shard = 0; shard < opts_.partitions; shard++) {
+      m.per_shard[shard] += sharded.shard_stats(shard);
+      if (opts_.protocol == Protocol::kAtlas) {
+        max_batch = std::max(
+            max_batch,
+            static_cast<const atlas::AtlasEngine&>(sharded.shard(shard)).MaxBatch());
+      }
     }
   }
   m.fast_paths = fast;
@@ -412,14 +493,34 @@ chk::CheckResult Cluster::Finish(bool abort_on_error) {
   }
   sim_->RunUntilIdle();
   chk::CheckResult result;
-  if (checker_ != nullptr) {
+  if (!checkers_.empty()) {
     for (uint32_t p = 0; p < n(); p++) {
-      if (!sim_->IsCrashed(p)) {
-        checker_->OnStateDigest(p, stores_[p]->StateDigest(),
-                                engines_[p]->stats().executed);
+      if (sim_->IsCrashed(p)) {
+        continue;
+      }
+      if (opts_.partitions == 1) {
+        // Classic deployment: one store, engine-level executed count (as seeded).
+        checkers_[0]->OnStateDigest(p, stores_[p]->StateDigest(),
+                                    engines_[p]->stats().executed);
+      } else {
+        // Replica convergence holds per partition: replicas may interleave shard
+        // streams differently, but each (site, shard) store must match its peers
+        // that applied the same number of that shard's commands.
+        for (uint32_t s = 0; s < opts_.partitions; s++) {
+          checkers_[s]->OnStateDigest(p, stores_[StoreIndex(p, s)]->StateDigest(),
+                                      applied_counts_[StoreIndex(p, s)]);
+        }
       }
     }
-    result = checker_->Validate();
+    for (auto& checker : checkers_) {
+      chk::CheckResult r = checker->Validate();
+      if (!r.ok) {
+        result.ok = false;
+        for (auto& e : r.errors) {
+          result.Fail(std::move(e));
+        }
+      }
+    }
     if (!result.ok && abort_on_error) {
       std::fprintf(stderr, "%s\n", result.Describe().c_str());
       CHECK(result.ok);

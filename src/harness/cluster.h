@@ -18,6 +18,8 @@
 #include "src/sim/simulator.h"
 #include "src/smr/conflict_index.h"
 #include "src/smr/engine.h"
+#include "src/smr/partitioner.h"
+#include "src/smr/sharded_engine.h"
 #include "src/wl/workload.h"
 
 namespace harness {
@@ -57,6 +59,17 @@ struct ClusterOptions {
 
   // Record histories and verify the SMR specification at Finish().
   bool enable_checker = false;
+
+  // Partitioned replicas: each site runs `partitions` independent engines behind a
+  // smr::ShardedEngine, with per-(site, partition) stores and per-partition checkers.
+  // partitions == 1 builds exactly the classic single-engine deployment (seeded runs
+  // stay byte-identical; the determinism pins enforce this).
+  uint32_t partitions = 1;
+  // Submission batching on sharded replicas (ignored when partitions == 1, which
+  // must stay identical to the unbatched seed): commands arriving at one (site,
+  // partition) within the window coalesce into a single kBatch protocol command.
+  common::Duration batch_window = 0;
+  size_t batch_max = 64;
 };
 
 struct ClientSpec {
@@ -82,8 +95,12 @@ struct Metrics {
   double fast_path_ratio = 0;  // over coordinated commands, whole run
   uint64_t fast_paths = 0;
   uint64_t slow_paths = 0;
-  uint64_t total_executions = 0;
+  uint64_t total_executions = 0;  // engine-level; a kBatch counts once
   size_t max_batch = 0;
+  // Partitioned deployments: engine stats aggregated across sites, one entry per
+  // partition (empty when partitions == 1). Load balance across shards is the
+  // fig-shard sweep's sanity metric.
+  std::vector<smr::EngineStats> per_shard;
 
   double ThroughputOpsPerSec() const {
     return window_seconds > 0 ? static_cast<double>(completed_in_window) / window_seconds
@@ -135,8 +152,13 @@ class Cluster {
 
   sim::Simulator& simulator() { return *sim_; }
   smr::Engine& engine(common::ProcessId p) { return *engines_[p]; }
-  const kvs::KvStore& store(common::ProcessId p) const { return *stores_[p]; }
+  // Per-(site, partition) service replica. The one-argument form is partition 0 —
+  // the whole store in unsharded deployments.
+  const kvs::KvStore& store(common::ProcessId p, uint32_t shard = 0) const {
+    return *stores_[StoreIndex(p, shard)];
+  }
   uint32_t n() const { return static_cast<uint32_t>(opts_.site_regions.size()); }
+  uint32_t partitions() const { return opts_.partitions; }
   common::ProcessId leader() const { return leader_; }
   uint64_t total_completed() const { return total_completed_; }
 
@@ -162,17 +184,41 @@ class Cluster {
   void BuildEngines();
   void IssueNext(uint64_t client_index);
   void OnExecuted(common::ProcessId p, const common::Dot& dot, const smr::Command& cmd);
+  // Applies one non-composite command at site p (store, checker, client completion).
+  void ApplyExecuted(common::ProcessId p, const common::Dot& dot,
+                     const smr::Command& cmd);
   void OnCommitted(common::ProcessId p, const common::Dot& dot, const smr::Command& cmd,
                    bool fast);
+  void CommitOne(common::ProcessId p, const smr::Command& cmd);
   void OnDropped(common::ProcessId p, const common::Dot& dot, const smr::Command& orig);
+  void DropOne(const smr::Command& orig);
   void CompleteClient(uint64_t client_index, common::Time completion_time);
   void MigrateClients(common::ProcessId dead_site);
 
+  size_t StoreIndex(common::ProcessId p, uint32_t shard) const {
+    return static_cast<size_t>(p) * opts_.partitions + shard;
+  }
+  // Partition of a command's key (0 for noOps, which apply nowhere and are skipped
+  // by the checker anyway).
+  uint32_t ShardOfCmd(const smr::Command& cmd) const {
+    return cmd.is_noop() ? 0 : partitioner_.ShardOf(cmd.key);
+  }
+
   ClusterOptions opts_;
+  smr::Partitioner partitioner_;
   std::unique_ptr<sim::Simulator> sim_;
   std::vector<std::unique_ptr<smr::Engine>> engines_;
+  // Indexed by StoreIndex(site, shard): sharded replicas partition the service state,
+  // so replica convergence (digests) is checked per (site, shard) pair.
   std::vector<std::unique_ptr<kvs::KvStore>> stores_;
-  std::unique_ptr<chk::HistoryChecker> checker_;
+  // One history checker per partition: commands in different partitions never
+  // conflict, so each partition's history is independently checkable.
+  std::vector<std::unique_ptr<chk::HistoryChecker>> checkers_;
+  // Non-noop commands applied per (site, shard); the per-shard executed_count used
+  // for digest comparability between replicas.
+  std::vector<uint64_t> applied_counts_;
+  std::vector<smr::Command> batch_scratch_;         // UnpackBatch reuse (execute path)
+  std::vector<smr::Command> commit_batch_scratch_;  // ... commit-latency path
 
   std::vector<Client> clients_;
   // (client, seq) -> client index, for completion routing.

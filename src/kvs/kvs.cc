@@ -40,6 +40,18 @@ std::string KvStore::Apply(const smr::Command& cmd) {
       }
       return "";
     }
+    case smr::Op::kBatch: {
+      // Composite submission batch: apply the sub-commands in encoded order.
+      // (The cluster harness unpacks batches itself for per-client completion; this
+      // path serves direct StateMachine users like the real runtime.)
+      std::vector<smr::Command> subs;
+      if (smr::UnpackBatch(cmd, subs)) {
+        for (const smr::Command& sub : subs) {
+          Apply(sub);
+        }
+      }
+      return "";
+    }
   }
   return "";
 }

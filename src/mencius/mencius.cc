@@ -153,13 +153,13 @@ void MenciusEngine::TryExecute() {
 }
 
 void MenciusEngine::OnMessage(ProcessId from, const msg::Message& m) {
-  if (auto* v = std::get_if<msg::MnPropose>(&m)) {
+  if (auto* v = msg::get_if<msg::MnPropose>(&m)) {
     HandlePropose(from, *v);
-  } else if (auto* v = std::get_if<msg::MnAck>(&m)) {
+  } else if (auto* v = msg::get_if<msg::MnAck>(&m)) {
     HandleAck(from, *v);
-  } else if (auto* v = std::get_if<msg::MnCommit>(&m)) {
+  } else if (auto* v = msg::get_if<msg::MnCommit>(&m)) {
     HandleCommit(from, *v);
-  } else if (auto* v = std::get_if<msg::MnSkipRange>(&m)) {
+  } else if (auto* v = msg::get_if<msg::MnSkipRange>(&m)) {
     HandleSkipRange(from, *v);
   }
 }

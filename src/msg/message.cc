@@ -447,11 +447,14 @@ const char* TypeName(const Message& m) {
 }
 
 void Encode(codec::Writer& w, const Message& m) {
+  // Envelope: partition tag (varint, 1 byte for unsharded deployments), type tag, body.
+  w.Varint(m.shard);
   w.U8(static_cast<uint8_t>(m.index()));
-  std::visit([&w](const auto& body) { Put(w, body); }, m);
+  std::visit([&w](const auto& body) { Put(w, body); }, m.body);
 }
 
 bool Decode(codec::Reader& r, Message& out) {
+  uint32_t shard = static_cast<uint32_t>(r.Varint());
   Tag tag = static_cast<Tag>(r.U8());
   if (!r.ok()) {
     return false;
@@ -541,14 +544,16 @@ bool Decode(codec::Reader& r, Message& out) {
     default:
       return false;
   }
+  out.shard = shard;  // the switch above overwrote the envelope; restore the tag
   return r.ok();
 }
 
 size_t EncodedSize(const Message& m) {
   // Size-only visitor: no buffer, no allocation — the simulator calls this per send.
   codec::SizeWriter w;
+  w.Varint(m.shard);
   w.U8(static_cast<uint8_t>(m.index()));
-  std::visit([&w](const auto& body) { Put(w, body); }, m);
+  std::visit([&w](const auto& body) { Put(w, body); }, m.body);
   return w.size();
 }
 

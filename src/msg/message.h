@@ -1,5 +1,7 @@
 // Protocol messages for all four SMR protocols plus the client RPCs of the real
-// runtime, wrapped in a single std::variant envelope.
+// runtime, wrapped in a single envelope: a std::variant body plus a partition (shard)
+// tag that routes the message to the right per-partition engine on sharded replicas
+// (smr::ShardedEngine). Unsharded deployments leave the tag at 0.
 //
 // Every message is fully serializable through src/codec (exercised by the TCP transport
 // and round-trip tests); the discrete-event simulator passes Message values directly but
@@ -9,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <variant>
 
 #include "src/common/dep_set.h"
@@ -216,11 +219,46 @@ struct ClientReply {
 
 // ---------------------------------------------------------------------------
 
-using Message = std::variant<
-    MCollect, MCollectAck, MConsensus, MConsensusAck, MCommit, MRec, MRecAck,
-    EpPreAccept, EpPreAcceptAck, EpAccept, EpAcceptAck, EpCommit, EpPrepare, EpPrepareAck,
-    PxForward, PxAccept, PxAccepted, PxCommit, PxPrepare, PxPromise, PxHeartbeat,
-    MnPropose, MnAck, MnCommit, MnSkipRange, ClientRequest, ClientReply>;
+// Message envelope: protocol body plus the partition tag. Engines construct messages
+// from any body type implicitly (`msg::MCommit c; SendTo(p, c);`); the shard tag is
+// stamped by the sharded replica's per-partition context, never by protocol code.
+struct Message {
+  using Body = std::variant<
+      MCollect, MCollectAck, MConsensus, MConsensusAck, MCommit, MRec, MRecAck,
+      EpPreAccept, EpPreAcceptAck, EpAccept, EpAcceptAck, EpCommit, EpPrepare,
+      EpPrepareAck, PxForward, PxAccept, PxAccepted, PxCommit, PxPrepare, PxPromise,
+      PxHeartbeat, MnPropose, MnAck, MnCommit, MnSkipRange, ClientRequest, ClientReply>;
+
+  Body body;
+  uint32_t shard = 0;  // destination partition on sharded replicas; 0 otherwise
+
+  Message() = default;
+  template <class T, class = std::enable_if_t<
+                         !std::is_same_v<std::decay_t<T>, Message> &&
+                         std::is_constructible_v<Body, T&&>>>
+  Message(T&& alt) : body(std::forward<T>(alt)) {}  // NOLINT: implicit by design
+
+  size_t index() const { return body.index(); }
+};
+
+// std::get / std::get_if analogs for the envelope (std's overloads cannot deduce
+// through the wrapping struct).
+template <class T>
+T* get_if(Message* m) {
+  return std::get_if<T>(&m->body);
+}
+template <class T>
+const T* get_if(const Message* m) {
+  return std::get_if<T>(&m->body);
+}
+template <class T>
+T& get(Message& m) {
+  return std::get<T>(m.body);
+}
+template <class T>
+const T& get(const Message& m) {
+  return std::get<T>(m.body);
+}
 
 // Human-readable message type name, for traces and debugging.
 const char* TypeName(const Message& m);

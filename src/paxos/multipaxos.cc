@@ -240,17 +240,26 @@ void PaxosEngine::HandlePrepare(ProcessId from, const msg::PxPrepare& m) {
   if (leading_ && common::BallotOwner(m.ballot, n_) != self_) {
     leading_ = false;
   }
-  msg::PxPromise promise;
+  // Fill the reusable scratch in place: entries in the stable prefix are overwritten
+  // (their command strings reuse capacity) and the vector itself never re-grows below
+  // its high-water mark (resize keeps capacity; entries above `count` are re-created
+  // empty if a later prepare is longer). The copy into the send envelope is a single
+  // sized allocation instead of a growth sequence per prepare.
+  msg::PxPromise& promise = promise_scratch_;
   promise.ballot = m.ballot;
+  size_t count = 0;
   for (const auto& [slot, s] : log_) {
     if (slot >= m.from_slot && s.accepted_ballot != 0) {
-      msg::PxPromiseEntry e;
+      if (count == promise.accepted.size()) {
+        promise.accepted.emplace_back();
+      }
+      msg::PxPromiseEntry& e = promise.accepted[count++];
       e.slot = slot;
       e.ballot = s.committed ? ~Ballot{0} : s.accepted_ballot;  // committed wins
       e.cmd = s.cmd;
-      promise.accepted.push_back(std::move(e));
     }
   }
+  promise.accepted.resize(count);
   SendTo(from, promise);
 }
 
@@ -294,17 +303,17 @@ void PaxosEngine::HandlePromise(ProcessId from, const msg::PxPromise& m) {
 }
 
 void PaxosEngine::OnMessage(ProcessId from, const msg::Message& m) {
-  if (auto* v = std::get_if<msg::PxForward>(&m)) {
+  if (auto* v = msg::get_if<msg::PxForward>(&m)) {
     HandleForward(from, *v);
-  } else if (auto* v = std::get_if<msg::PxAccept>(&m)) {
+  } else if (auto* v = msg::get_if<msg::PxAccept>(&m)) {
     HandleAccept(from, *v);
-  } else if (auto* v = std::get_if<msg::PxAccepted>(&m)) {
+  } else if (auto* v = msg::get_if<msg::PxAccepted>(&m)) {
     HandleAccepted(from, *v);
-  } else if (auto* v = std::get_if<msg::PxCommit>(&m)) {
+  } else if (auto* v = msg::get_if<msg::PxCommit>(&m)) {
     HandleCommit(from, *v);
-  } else if (auto* v = std::get_if<msg::PxPrepare>(&m)) {
+  } else if (auto* v = msg::get_if<msg::PxPrepare>(&m)) {
     HandlePrepare(from, *v);
-  } else if (auto* v = std::get_if<msg::PxPromise>(&m)) {
+  } else if (auto* v = msg::get_if<msg::PxPromise>(&m)) {
     HandlePromise(from, *v);
   }
 }

@@ -100,6 +100,11 @@ class PaxosEngine final : public smr::Engine {
   std::vector<msg::PxPromise> promise_msgs_;
   uint64_t election_from_slot_ = 0;
 
+  // Reusable PxPromise scratch for HandlePrepare: the accepted-entry vector (and each
+  // entry's command strings) keep their capacity across prepares, so answering phase 1
+  // over a long log performs no per-entry growth allocation (ROADMAP hot-path item).
+  msg::PxPromise promise_scratch_;
+
   uint64_t execute_upto_ = 0;  // next slot to execute
   std::set<common::ProcessId> suspected_;
   static constexpr uint64_t kElectionRetryToken = 2;

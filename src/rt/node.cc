@@ -255,7 +255,7 @@ void Node::OnFrame(Connection* conn, const uint8_t* data, size_t size) {
         return;
       }
       if (conn->is_client) {
-        if (auto* req = std::get_if<msg::ClientRequest>(&m)) {
+        if (auto* req = msg::get_if<msg::ClientRequest>(&m)) {
           waiting_clients_[chk::CmdKey{req->cmd.client, req->cmd.seq}] = conn;
           if (engine_started_) {
             engine_->Submit(req->cmd);
@@ -413,7 +413,7 @@ bool Client::Call(const smr::Command& cmd, std::string* result_out) {
     if (!msg::Decode(r, m)) {
       return false;
     }
-    auto* reply = std::get_if<msg::ClientReply>(&m);
+    auto* reply = msg::get_if<msg::ClientReply>(&m);
     if (reply == nullptr) {
       return false;
     }

@@ -1,5 +1,9 @@
 #include "src/smr/command.h"
 
+#include <algorithm>
+
+#include "src/common/check.h"
+
 namespace smr {
 
 const char* OpName(Op op) {
@@ -16,6 +20,8 @@ const char* OpName(Op op) {
       return "scan";
     case Op::kMPut:
       return "mput";
+    case Op::kBatch:
+      return "batch";
   }
   return "?";
 }
@@ -90,5 +96,66 @@ Command MakeRmw(uint64_t client, uint64_t seq, std::string key, std::string valu
 }
 
 Command MakeNoOp() { return Command{}; }
+
+Command MakeBatch(const std::vector<Command>& cmds) {
+  CHECK(!cmds.empty());
+  Command b;
+  b.op = Op::kBatch;
+  codec::Writer w;
+  w.Varint(cmds.size());
+  for (const Command& c : cmds) {
+    CHECK(!c.is_batch());  // no nesting
+    CHECK(!c.is_noop());   // noOps conflict with everything; never batched
+    c.EncodeTo(w);
+  }
+  b.value.assign(w.buffer().begin(), w.buffer().end());
+  // Deduplicated union of sub-command keys; batches are small, so the quadratic
+  // scan beats building a hash set.
+  bool have_primary = false;
+  auto add_key = [&b, &have_primary](const std::string& k) {
+    if (!have_primary) {
+      b.key = k;
+      have_primary = true;
+      return;
+    }
+    if (k == b.key ||
+        std::find(b.more_keys.begin(), b.more_keys.end(), k) != b.more_keys.end()) {
+      return;
+    }
+    b.more_keys.push_back(k);
+  };
+  for (const Command& c : cmds) {
+    add_key(c.key);
+    for (const auto& k : c.more_keys) {
+      add_key(k);
+    }
+  }
+  return b;
+}
+
+bool UnpackBatch(const Command& batch, std::vector<Command>& out) {
+  out.clear();
+  if (!batch.is_batch()) {
+    return false;
+  }
+  codec::Reader r(reinterpret_cast<const uint8_t*>(batch.value.data()),
+                  batch.value.size());
+  uint64_t n = r.Varint();
+  if (!r.ok() || n == 0 || n > batch.value.size()) {
+    return false;
+  }
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; i++) {
+    out.push_back(Command::Decode(r));
+    // Enforce MakeBatch's no-nesting invariant on the decode path too: untrusted
+    // input (the TCP runtime submits client commands verbatim) must not be able to
+    // nest batches and drive Apply/UnpackBatch into unbounded recursion.
+    if (!r.ok() || out.back().is_batch()) {
+      out.clear();
+      return false;
+    }
+  }
+  return true;
+}
 
 }  // namespace smr

@@ -21,6 +21,14 @@ enum class Op : uint8_t {
   kRmw = 3,   // read-modify-write (e.g. increment); both reads and writes its key
   kScan = 4,  // multi-key read
   kMPut = 5,  // multi-key write
+  // Composite command: `value` holds a codec-encoded sequence of sub-commands, all of
+  // which live in one partition. Sharded replicas coalesce client submissions into
+  // batches so a batch pays one protocol round (one dot, one MCollect fan-out) for
+  // many client commands. key/more_keys carry the union of sub-command keys, so the
+  // conflict index and checker-side conflict model treat the batch like the multi-key
+  // write it is. Executors/state machines unpack it (UnpackBatch) and apply the
+  // sub-commands in encoded order.
+  kBatch = 6,
 };
 
 const char* OpName(Op op);
@@ -35,7 +43,10 @@ struct Command {
 
   bool is_noop() const { return op == Op::kNoOp; }
   bool is_read() const { return op == Op::kGet || op == Op::kScan; }
-  bool is_write() const { return op == Op::kPut || op == Op::kRmw || op == Op::kMPut; }
+  bool is_write() const {
+    return op == Op::kPut || op == Op::kRmw || op == Op::kMPut || op == Op::kBatch;
+  }
+  bool is_batch() const { return op == Op::kBatch; }
 
   // Total bytes of key + payload; used by benches to model message sizes.
   size_t PayloadSize() const;
@@ -67,6 +78,16 @@ Command MakeGet(uint64_t client, uint64_t seq, std::string key);
 Command MakePut(uint64_t client, uint64_t seq, std::string key, std::string value);
 Command MakeRmw(uint64_t client, uint64_t seq, std::string key, std::string value);
 Command MakeNoOp();
+
+// Builds a kBatch composite from `cmds` (none may itself be a batch or noOp). The
+// batch carries client=0/seq=0 — sub-commands keep their own (client, seq) for
+// completion routing — and the deduplicated union of sub-command keys for conflict
+// detection.
+Command MakeBatch(const std::vector<Command>& cmds);
+
+// Decodes a kBatch's sub-commands into `out` (cleared first). Returns false if
+// `batch` is not a well-formed batch. `out` reuses its capacity across calls.
+bool UnpackBatch(const Command& batch, std::vector<Command>& out);
 
 }  // namespace smr
 

@@ -28,6 +28,20 @@ struct EngineStats {
   uint64_t recoveries_started = 0;
   uint64_t noops_committed = 0;
   uint64_t messages_sent = 0;
+
+  // Single aggregation point (sharded engines, harness snapshots): a new counter
+  // added above only needs to be summed here.
+  EngineStats& operator+=(const EngineStats& o) {
+    submitted += o.submitted;
+    committed += o.committed;
+    executed += o.executed;
+    fast_paths += o.fast_paths;
+    slow_paths += o.slow_paths;
+    recoveries_started += o.recoveries_started;
+    noops_committed += o.noops_committed;
+    messages_sent += o.messages_sent;
+    return *this;
+  }
 };
 
 class Context {
@@ -81,7 +95,10 @@ class Engine {
   // Failure-detector hint: process p is suspected to have crashed.
   virtual void OnSuspect(common::ProcessId p) {}
 
-  const EngineStats& stats() const { return stats_; }
+  // Returned by value: composite engines (smr::ShardedEngine) aggregate over their
+  // inner engines on each call, so a reference would alias the recomputation buffer
+  // and make successive snapshots compare equal. Not a hot path (harness snapshots).
+  virtual EngineStats stats() const { return stats_; }
   common::ProcessId self() const { return self_; }
   uint32_t n() const { return n_; }
 

@@ -27,6 +27,44 @@ smr::Command MicroWorkload::Next(uint64_t client, uint64_t seq, common::Rng& rng
   return smr::MakePut(client, seq, std::move(key), value_);
 }
 
+PartitionedMicroWorkload::PartitionedMicroWorkload(uint32_t partitions,
+                                                   double conflict_rate,
+                                                   size_t value_size)
+    : conflict_rate_(conflict_rate), value_(value_size, 'x') {
+  // First zero-padded key routed to each shard, scanning from 0 — deterministic and
+  // partitioner-stable, and shard 0's hot key stays the §5.2 key 0 when a scan hit
+  // lands there. A few dozen probes cover any partition count we run.
+  smr::Partitioner part(partitions);
+  hot_keys_.resize(partitions);
+  std::vector<bool> found(partitions, false);
+  uint32_t remaining = partitions;
+  for (uint64_t k = 0; remaining > 0; k++) {
+    std::string key = ZeroPadKey(k);
+    uint32_t s = part.ShardOf(key);
+    if (!found[s]) {
+      found[s] = true;
+      hot_keys_[s] = std::move(key);
+      remaining--;
+    }
+  }
+}
+
+smr::Command PartitionedMicroWorkload::Next(uint64_t client, uint64_t seq,
+                                            common::Rng& rng) {
+  std::string key;
+  if (rng.Chance(conflict_rate_)) {
+    // Uniform shard choice keeps hot traffic balanced across partitions; within a
+    // shard the hot key is shared by every client, as in §5.2. P=1 must not draw
+    // the extra shard choice: that keeps its RNG stream (and thus seeded runs)
+    // exactly equal to MicroWorkload's.
+    key = hot_keys_.size() > 1 ? hot_keys_[rng.Below(hot_keys_.size())]
+                               : hot_keys_[0];
+  } else {
+    key = "c" + std::to_string(client);
+  }
+  return smr::MakePut(client, seq, std::move(key), value_);
+}
+
 FixedKeyWorkload::FixedKeyWorkload(bool shared, size_t value_size)
     : shared_(shared), value_(value_size, 'x') {}
 

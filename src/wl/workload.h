@@ -5,9 +5,11 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/smr/command.h"
+#include "src/smr/partitioner.h"
 
 namespace wl {
 
@@ -31,6 +33,30 @@ class MicroWorkload final : public Workload {
 
  private:
   double conflict_rate_;
+  std::string value_;
+};
+
+// §5.2 microbenchmark for partitioned replicas. With P partitions the single shared
+// key would funnel every conflicting command into one shard and leave the others
+// conflict-free, so `conflict_rate` would stop meaning what §5.2 says per pipeline.
+// This variant pre-computes one hot key per partition (keys chosen so the
+// smr::Partitioner routes hot key s to shard s); a conflicting command picks a
+// partition uniformly and uses its hot key, so every shard's command stream is itself
+// a §5.2 microbenchmark with the same conflict_rate. Non-conflicting commands keep
+// per-client unique keys, which the partitioner spreads across shards by hash. With
+// partitions == 1 this is exactly MicroWorkload.
+class PartitionedMicroWorkload final : public Workload {
+ public:
+  PartitionedMicroWorkload(uint32_t partitions, double conflict_rate,
+                           size_t value_size);
+
+  smr::Command Next(uint64_t client, uint64_t seq, common::Rng& rng) override;
+
+  const std::string& hot_key(uint32_t shard) const { return hot_keys_[shard]; }
+
+ private:
+  double conflict_rate_;
+  std::vector<std::string> hot_keys_;  // hot_keys_[s] routes to shard s
   std::string value_;
 };
 

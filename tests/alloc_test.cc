@@ -10,6 +10,7 @@
 #include <memory>
 #include <new>
 
+#include "src/paxos/multipaxos.h"
 #include "src/sim/simulator.h"
 
 namespace {
@@ -88,6 +89,63 @@ TEST(AllocTest, SteadyStateDeliveryIsAllocationFree) {
   // the test does not depend on libstdc++ internals.
   EXPECT_LE(allocs, 8u) << "steady-state deliveries allocated " << allocs
                         << " times for " << delivered << " messages";
+}
+
+// Discards engine output; lets us drive an engine directly and count only its own
+// allocations (no simulator, no delivery queue).
+class NullContext final : public smr::Context {
+ public:
+  void Send(common::ProcessId to, msg::Message m) override {}
+  common::Time Now() const override { return 0; }
+  void SetTimer(common::Duration delay, uint64_t token) override {}
+  void Executed(const common::Dot& dot, const smr::Command& cmd) override {}
+};
+
+// Pins the PxPromise fix (ROADMAP hot-path item): answering Paxos phase 1 over a long
+// log must reuse the engine's promise scratch instead of growing a fresh
+// accepted-entry vector per prepare. Warm steady state: one sized allocation for the
+// copy into the send envelope, nothing per entry.
+TEST(AllocTest, PaxosPromiseReusesAcceptedScratch) {
+  paxos::Config cfg;
+  cfg.n = 3;
+  cfg.f = 1;
+  cfg.initial_leader = 0;
+  paxos::PaxosEngine engine(cfg);
+  NullContext ctx;
+  engine.Bind(/*self=*/1, /*n=*/3, &ctx);
+  engine.OnStart();
+
+  // Fill the log as a follower: 256 accepted-but-uncommitted slots. Keys/values are
+  // SSO-small so entry copies never need the heap.
+  const uint64_t kSlots = 256;
+  for (uint64_t slot = 0; slot < kSlots; slot++) {
+    msg::PxAccept acc;
+    acc.slot = slot;
+    acc.ballot = common::InitialBallot(0);
+    acc.cmd = smr::MakePut(1, slot + 1, "k", "v");
+    engine.OnMessage(0, acc);
+  }
+
+  // Warmup prepare: grows the scratch to its high-water mark.
+  common::Ballot ballot = 100;
+  msg::PxPrepare prep;
+  prep.ballot = ballot;
+  prep.from_slot = 0;
+  engine.OnMessage(0, prep);
+
+  uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  const uint64_t kPrepares = 50;
+  for (uint64_t i = 1; i <= kPrepares; i++) {
+    prep.ballot = ballot + i * 3;  // strictly increasing, owned by process 2
+    engine.OnMessage(0, prep);
+  }
+  uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - before;
+  // Per prepare: one sized vector allocation when the promise is copied into the send
+  // envelope. The old code added a growth sequence (~log2(slots) reallocations) per
+  // prepare on top.
+  EXPECT_LE(allocs, kPrepares * 3) << "phase-1 promises allocated " << allocs
+                                   << " times for " << kPrepares << " prepares over "
+                                   << kSlots << " slots";
 }
 
 }  // namespace

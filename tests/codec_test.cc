@@ -138,7 +138,7 @@ msg::Message SampleMessage(size_t index) {
 }
 
 TEST(CodecTest, AllMessageTypesRoundTrip) {
-  constexpr size_t kTypes = std::variant_size_v<msg::Message>;
+  constexpr size_t kTypes = std::variant_size_v<msg::Message::Body>;
   for (size_t i = 0; i < kTypes; i++) {
     msg::Message m = SampleMessage(i);
     ASSERT_EQ(m.index(), i) << "SampleMessage(" << i << ") builds wrong alternative";
@@ -169,7 +169,7 @@ TEST(CodecTest, FuzzDecodeIsSafe) {
 
 // Truncating a valid encoding at any point must fail cleanly, never crash.
 TEST(CodecTest, TruncatedMessagesFailCleanly) {
-  constexpr size_t kTypes = std::variant_size_v<msg::Message>;
+  constexpr size_t kTypes = std::variant_size_v<msg::Message::Body>;
   for (size_t i = 0; i < kTypes; i++) {
     msg::Message m = SampleMessage(i);
     codec::Writer w;

@@ -1,0 +1,147 @@
+// DotMap: the open-addressed flat map behind the engines' per-command state.
+// Exercises insert/find/erase/iteration directly, then cross-validates a long
+// randomized operation sequence against std::unordered_map, with special attention
+// to backward-shift deletion (the subtle part of tombstone-free open addressing).
+#include "src/common/dot_map.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace common {
+namespace {
+
+TEST(DotMapTest, InsertFindErase) {
+  DotMap<uint64_t> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(Dot{1, 1}), nullptr);
+
+  m[Dot{1, 1}] = 11;
+  m[Dot{2, 7}] = 27;
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.Find(Dot{1, 1}), nullptr);
+  EXPECT_EQ(*m.Find(Dot{1, 1}), 11u);
+  EXPECT_EQ(*m.Find(Dot{2, 7}), 27u);
+  EXPECT_FALSE(m.Contains(Dot{3, 1}));
+
+  // operator[] on an existing key returns the same entry.
+  m[Dot{1, 1}] = 99;
+  EXPECT_EQ(*m.Find(Dot{1, 1}), 99u);
+  EXPECT_EQ(m.size(), 2u);
+
+  EXPECT_TRUE(m.Erase(Dot{1, 1}));
+  EXPECT_FALSE(m.Erase(Dot{1, 1}));
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.Find(Dot{1, 1}), nullptr);
+  EXPECT_EQ(*m.Find(Dot{2, 7}), 27u);
+}
+
+TEST(DotMapTest, GrowthKeepsAllEntries) {
+  DotMap<uint64_t> m;
+  for (uint64_t i = 1; i <= 10000; i++) {
+    m[Dot{static_cast<ProcessId>(i % 5), i}] = i;
+  }
+  EXPECT_EQ(m.size(), 10000u);
+  for (uint64_t i = 1; i <= 10000; i++) {
+    auto* v = m.Find(Dot{static_cast<ProcessId>(i % 5), i});
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(DotMapTest, FifoEvictionPattern) {
+  // The decided-cache pattern: insert in dot order, erase oldest when over limit.
+  DotMap<uint64_t> m;
+  const size_t kLimit = 512;
+  uint64_t evict_next = 1;
+  for (uint64_t i = 1; i <= 20000; i++) {
+    m[Dot{0, i}] = i;
+    if (m.size() > kLimit) {
+      EXPECT_TRUE(m.Erase(Dot{0, evict_next++}));
+    }
+  }
+  EXPECT_EQ(m.size(), kLimit);
+  for (uint64_t i = evict_next; i <= 20000; i++) {
+    ASSERT_TRUE(m.Contains(Dot{0, i})) << i;
+  }
+  EXPECT_FALSE(m.Contains(Dot{0, evict_next - 1}));
+}
+
+TEST(DotMapTest, ForEachVisitsExactlyOccupiedSlots) {
+  DotMap<uint64_t> m;
+  for (uint64_t i = 1; i <= 100; i++) {
+    m[Dot{1, i}] = i;
+  }
+  for (uint64_t i = 1; i <= 100; i += 2) {
+    m.Erase(Dot{1, i});
+  }
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  m.ForEach([&](const Dot& d, const uint64_t& v) {
+    count++;
+    sum += v;
+    EXPECT_EQ(d.seq % 2, 0u);
+  });
+  EXPECT_EQ(count, 50u);
+  EXPECT_EQ(sum, 2550u);  // 2 + 4 + ... + 100
+}
+
+TEST(DotMapTest, RandomizedAgainstUnorderedMap) {
+  Rng rng(2024);
+  DotMap<uint64_t> flat;
+  std::unordered_map<Dot, uint64_t, DotHash> ref;
+  std::vector<Dot> universe;
+  for (uint64_t i = 0; i < 700; i++) {
+    universe.push_back(Dot{static_cast<ProcessId>(rng.Below(7)), rng.Below(200)});
+  }
+  for (int step = 0; step < 200000; step++) {
+    const Dot& d = universe[rng.Below(universe.size())];
+    switch (rng.Below(4)) {
+      case 0:
+      case 1: {  // insert / overwrite
+        uint64_t v = rng.Below(1u << 30);
+        flat[d] = v;
+        ref[d] = v;
+        break;
+      }
+      case 2: {  // erase
+        EXPECT_EQ(flat.Erase(d), ref.erase(d) > 0);
+        break;
+      }
+      default: {  // lookup
+        auto* fv = flat.Find(d);
+        auto it = ref.find(d);
+        ASSERT_EQ(fv != nullptr, it != ref.end());
+        if (fv != nullptr) {
+          ASSERT_EQ(*fv, it->second);
+        }
+      }
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+  // Final full cross-check, both directions.
+  uint64_t visited = 0;
+  flat.ForEach([&](const Dot& d, const uint64_t& v) {
+    auto it = ref.find(d);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(v, it->second);
+    visited++;
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(DotMapTest, ReserveAvoidsRehash) {
+  DotMap<uint64_t> m;
+  m.Reserve(1000);
+  size_t cap = m.capacity();
+  for (uint64_t i = 1; i <= 1000; i++) {
+    m[Dot{0, i}] = i;
+  }
+  EXPECT_EQ(m.capacity(), cap);
+}
+
+}  // namespace
+}  // namespace common

@@ -1,46 +1,77 @@
 // Real-runtime example: a 3-replica Atlas KVS over actual TCP sockets (localhost),
-// exercised by a client issuing reads and writes — the same engines that run on the
-// simulator, driven by the epoll runtime.
+// exercised by a client issuing reads and writes — the same replica assembly
+// (smr::Deployment) that the simulator harness drives, run by the epoll runtime.
 //
-//   $ ./build/examples/kvs_cluster
+//   $ ./build/kvs_cluster                       # classic single-engine replicas
+//   $ ./build/kvs_cluster --partitions 4        # 4 engines per node, key-space sharded
+//   $ ./build/kvs_cluster --partitions 4 --batch-window-ms 5 --batch-max 32
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include <unistd.h>
 
-#include "src/core/atlas.h"
-#include "src/kvs/kvs.h"
 #include "src/rt/node.h"
+#include "src/smr/deployment.h"
 
-int main() {
+int main(int argc, char** argv) {
   constexpr uint32_t kReplicas = 3;
-  const uint16_t base_port = static_cast<uint16_t>(39000 + (getpid() % 1000));
+  uint32_t partitions = 1;
+  uint64_t batch_window_ms = 0;
+  size_t batch_max = 64;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--partitions") == 0 && i + 1 < argc) {
+      partitions = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--batch-window-ms") == 0 && i + 1 < argc) {
+      batch_window_ms = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--batch-max") == 0 && i + 1 < argc) {
+      batch_max = static_cast<size_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--partitions N] [--batch-window-ms N] "
+                   "[--batch-max N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (partitions < 1 || partitions > smr::ShardedEngine::kMaxPartitions ||
+      batch_max < 1) {
+    std::fprintf(stderr, "--partitions must be 1..%u and --batch-max >= 1\n",
+                 smr::ShardedEngine::kMaxPartitions);
+    return 2;
+  }
 
+  const uint16_t base_port = static_cast<uint16_t>(39000 + (getpid() % 1000));
   std::vector<rt::PeerAddress> addrs;
   for (uint32_t i = 0; i < kReplicas; i++) {
     addrs.push_back(rt::PeerAddress{"127.0.0.1", static_cast<uint16_t>(base_port + i)});
   }
 
-  std::vector<std::unique_ptr<atlas::AtlasEngine>> engines;
-  std::vector<std::unique_ptr<kvs::KvStore>> stores;
+  // One Deployment per node: the same assembly layer the simulator harness uses,
+  // so P>1 gives each node `partitions` independent Atlas engines with per-shard
+  // stores and (optionally) submission batching — over real sockets.
+  std::vector<std::unique_ptr<smr::Deployment>> replicas;
   std::vector<std::unique_ptr<rt::Node>> nodes;
   for (uint32_t i = 0; i < kReplicas; i++) {
-    atlas::Config config;
-    config.n = kReplicas;
-    config.f = 1;
-    engines.push_back(std::make_unique<atlas::AtlasEngine>(config));
-    stores.push_back(std::make_unique<kvs::KvStore>());
-    nodes.push_back(
-        std::make_unique<rt::Node>(i, addrs, engines[i].get(), stores[i].get()));
+    smr::DeploymentOptions d;
+    d.protocol = smr::Protocol::kAtlas;
+    d.n = kReplicas;
+    d.f = 1;
+    d.partitions = partitions;
+    d.batch_window = batch_window_ms * common::kMillisecond;
+    d.batch_max = batch_max;
+    replicas.push_back(std::make_unique<smr::Deployment>(std::move(d)));
+    nodes.push_back(std::make_unique<rt::Node>(i, addrs, replicas[i].get()));
     if (!nodes.back()->Listen()) {
       std::fprintf(stderr, "failed to bind port %u\n", addrs[i].port);
       return 1;
     }
   }
-  std::printf("3 ATLAS replicas listening on 127.0.0.1:%u..%u\n", base_port,
-              base_port + kReplicas - 1);
+  std::printf("3 ATLAS replicas (P=%u) listening on 127.0.0.1:%u..%u\n", partitions,
+              base_port, base_port + kReplicas - 1);
 
   std::vector<std::thread> threads;
   for (uint32_t i = 0; i < kReplicas; i++) {
@@ -72,6 +103,10 @@ int main() {
   call(bob, "bob  ", smr::MakeGet(2, 1, "tea"));       // sees alice's write
   call(bob, "bob  ", smr::MakeRmw(2, 2, "tea", "+milk"));
   call(alice, "alice", smr::MakeGet(1, 2, "tea"));     // sees bob's update
+  // Hit a few more keys so sharded runs touch several partitions.
+  call(alice, "alice", smr::MakePut(1, 3, "coffee", "black"));
+  call(bob, "bob  ", smr::MakePut(2, 3, "juice", "orange"));
+  call(alice, "alice", smr::MakeGet(1, 4, "juice"));
 
   for (auto& node : nodes) {
     node->Stop();
@@ -79,9 +114,14 @@ int main() {
   for (auto& t : threads) {
     t.join();
   }
-  std::printf("\nreplica digests: %016llx %016llx %016llx\n",
-              static_cast<unsigned long long>(stores[0]->StateDigest()),
-              static_cast<unsigned long long>(stores[1]->StateDigest()),
-              static_cast<unsigned long long>(stores[2]->StateDigest()));
+  std::printf("\nper-(replica, shard) digests:\n");
+  for (uint32_t i = 0; i < kReplicas; i++) {
+    std::printf("  replica %u:", i);
+    for (uint32_t s = 0; s < partitions; s++) {
+      std::printf(" %016llx",
+                  static_cast<unsigned long long>(replicas[i]->store(s).StateDigest()));
+    }
+    std::printf("\n");
+  }
   return 0;
 }

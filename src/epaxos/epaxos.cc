@@ -18,7 +18,7 @@ EPaxosEngine::EPaxosEngine(Config config)
       executor_(exec::BatchOrder::kSeqDot,
                 [this](const Dot& dot, const smr::Command& cmd) {
                   stats_.executed++;
-                  infos_.erase(dot);
+                  infos_.Erase(dot);
                   ctx_->Executed(dot, cmd);
                 }) {
   CHECK_GE(config_.n, 3u);
@@ -39,9 +39,9 @@ void EPaxosEngine::OnStart() {
 uint64_t EPaxosEngine::MaxConflictSeq(const DepSet& deps) const {
   uint64_t max_seq = 0;
   for (const Dot& d : deps) {
-    auto it = seqnos_.find(d);
-    if (it != seqnos_.end()) {
-      max_seq = std::max(max_seq, it->second);
+    const uint64_t* s = seqnos_.Find(d);
+    if (s != nullptr) {
+      max_seq = std::max(max_seq, *s);
     }
   }
   return max_seq;
@@ -117,11 +117,11 @@ void EPaxosEngine::HandlePreAccept(ProcessId from, const msg::EpPreAccept& m) {
 }
 
 void EPaxosEngine::HandlePreAcceptAck(ProcessId from, const msg::EpPreAcceptAck& m) {
-  auto it = infos_.find(m.dot);
-  if (it == infos_.end()) {
+  Info* found = infos_.Find(m.dot);
+  if (found == nullptr) {
     return;
   }
-  Info& info = it->second;
+  Info& info = *found;
   if (m.dot.proc != self_ || info.phase != Phase::kPreAccepted ||
       !info.quorum.Contains(from) || info.preaccept_acked.Contains(from)) {
     return;
@@ -216,11 +216,11 @@ void EPaxosEngine::HandleAccept(ProcessId from, const msg::EpAccept& m) {
 }
 
 void EPaxosEngine::HandleAcceptAck(ProcessId from, const msg::EpAcceptAck& m) {
-  auto it = infos_.find(m.dot);
-  if (it == infos_.end()) {
+  Info* found = infos_.Find(m.dot);
+  if (found == nullptr) {
     return;
   }
-  Info& info = it->second;
+  Info& info = *found;
   if (info.proposal_ballot != m.ballot || info.bal != m.ballot ||
       info.accept_acked.Contains(from)) {
     return;
@@ -278,11 +278,11 @@ void EPaxosEngine::OnSuspect(ProcessId p) {
   }
   suspected_.insert(p);
   std::vector<Dot> to_recover;
-  for (const auto& [dot, info] : infos_) {
+  infos_.ForEach([&](const Dot& dot, const Info& info) {
     if (dot.proc == p && info.phase != Phase::kCommitted) {
       to_recover.push_back(dot);
     }
-  }
+  });
   for (const Dot& dot : to_recover) {
     Info& info = GetInfo(dot);
     Ballot b = common::NextRecoveryBallot(self_, info.bal, n_);
@@ -317,11 +317,11 @@ void EPaxosEngine::HandlePrepare(ProcessId from, const msg::EpPrepare& m) {
 }
 
 void EPaxosEngine::HandlePrepareAck(ProcessId from, const msg::EpPrepareAck& m) {
-  auto it = infos_.find(m.dot);
-  if (it == infos_.end()) {
+  Info* found = infos_.Find(m.dot);
+  if (found == nullptr) {
     return;
   }
-  Info& info = it->second;
+  Info& info = *found;
   if (info.rec_ballot != m.ballot || info.rec_acked.Contains(from)) {
     return;
   }
@@ -347,14 +347,17 @@ void EPaxosEngine::HandlePrepareAck(ProcessId from, const msg::EpPrepareAck& m) 
     }
   }
   if (committed != nullptr) {
-    ApplyCommit(m.dot, committed->cmd, committed->deps, committed->seqno,
-                /*fast_path=*/false);
-    // Let others know too.
+    // Copy out of info.rec_acks first: ApplyCommit can execute the command
+    // immediately, and the executed callback erases infos_[dot] — destroying the
+    // rec_acks vector `committed` points into (and, with DotMap's backward-shift
+    // deletion, possibly moving neighbouring entries too).
     msg::EpCommit commit;
     commit.dot = m.dot;
     commit.cmd = committed->cmd;
     commit.deps = committed->deps;
     commit.seqno = committed->seqno;
+    ApplyCommit(m.dot, commit.cmd, commit.deps, commit.seqno, /*fast_path=*/false);
+    // Let others know too.
     for (ProcessId p = 0; p < n_; p++) {
       if (p != self_) {
         SendTo(p, commit);

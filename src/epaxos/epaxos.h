@@ -23,11 +23,11 @@
 #define SRC_EPAXOS_EPAXOS_H_
 
 #include <memory>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "src/common/dep_set.h"
+#include "src/common/dot_map.h"
 #include "src/common/quorum.h"
 #include "src/common/types.h"
 #include "src/exec/graph_executor.h"
@@ -106,6 +106,10 @@ class EPaxosEngine final : public smr::Engine {
   // Highest sequence number among recorded commands conflicting with cmd.
   uint64_t MaxConflictSeq(const common::DepSet& deps) const;
 
+  // DotMap references are invalidated by later inserts/erases (rehash and
+  // backward-shift deletion move slots); handlers must not hold an Info& across a
+  // call that can insert into or erase from infos_ — see HandlePrepareAck's
+  // copy-into-locals before ApplyCommit.
   Info& GetInfo(const common::Dot& dot) { return infos_[dot]; }
   bool NfrRead(const smr::Command& cmd) const { return config_.nfr && cmd.is_read(); }
   common::Quorum PickQuorum(size_t size) const;
@@ -115,9 +119,12 @@ class EPaxosEngine final : public smr::Engine {
   exec::GraphExecutor executor_;
 
   uint64_t next_seq_ = 1;
-  std::unordered_map<common::Dot, Info, common::DotHash> infos_;
+  // Flat dot-keyed maps (ROADMAP known-allocation: the last engine still on
+  // hash-map nodes): per-command state allocates only on amortized table growth,
+  // not per command. alloc_test pins the steady-state behaviour.
+  common::DotMap<Info> infos_;
   // seq numbers of every known command, for the max-conflict-seq computation.
-  std::unordered_map<common::Dot, uint64_t, common::DotHash> seqnos_;
+  common::DotMap<uint64_t> seqnos_;
   std::unordered_set<common::ProcessId> suspected_;
 };
 

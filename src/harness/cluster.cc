@@ -4,35 +4,16 @@
 
 #include "src/common/check.h"
 #include "src/core/atlas.h"
-#include "src/epaxos/epaxos.h"
 #include "src/harness/topology.h"
-#include "src/mencius/mencius.h"
 #include "src/paxos/multipaxos.h"
 #include "src/sim/regions.h"
 
 namespace harness {
 
-const char* ProtocolName(Protocol p) {
-  switch (p) {
-    case Protocol::kAtlas:
-      return "Atlas";
-    case Protocol::kEPaxos:
-      return "EPaxos";
-    case Protocol::kFPaxos:
-      return "FPaxos";
-    case Protocol::kPaxos:
-      return "Paxos";
-    case Protocol::kMencius:
-      return "Mencius";
-  }
-  return "?";
-}
-
 Cluster::Cluster(ClusterOptions opts)
-    : opts_(std::move(opts)), partitioner_(opts_.partitions) {
+    : opts_(std::move(opts)) {
   CHECK_GE(opts_.site_regions.size(), 3u);
   CHECK_GE(opts_.partitions, 1u);
-  CHECK_LE(opts_.partitions, smr::ShardedEngine::kMaxPartitions);
   sim::Simulator::Options sim_opts;
   sim_opts.seed = opts_.seed;
   sim_opts.fifo_links = opts_.fifo_links;
@@ -43,12 +24,8 @@ Cluster::Cluster(ClusterOptions opts)
 
   uint32_t n = this->n();
   for (uint32_t i = 0; i < n; i++) {
-    for (uint32_t s = 0; s < opts_.partitions; s++) {
-      stores_.push_back(std::make_unique<kvs::KvStore>());
-    }
     site_throughput_.emplace_back(common::kSecond);
   }
-  applied_counts_.assign(static_cast<size_t>(n) * opts_.partitions, 0);
   site_alive_.assign(n, true);
   if (opts_.enable_checker) {
     for (uint32_t s = 0; s < opts_.partitions; s++) {
@@ -56,85 +33,51 @@ Cluster::Cluster(ClusterOptions opts)
       checkers_.back()->SetNfrMode(opts_.nfr);
     }
   }
-  BuildEngines();
+  BuildReplicas();
 }
 
 Cluster::~Cluster() = default;
 
-void Cluster::BuildEngines() {
+void Cluster::BuildReplicas() {
   uint32_t n = this->n();
   const sim::LatencyModel& lat = sim_->latency();
 
-  std::vector<size_t> client_regions = sim::ClientSites();
-  // One base Paxos config shared by leader selection and engine construction, so the
-  // quorum geometry used to pick the fairest leader is the one the engines run.
-  paxos::Config paxos_base;
-  paxos_base.n = n;
-  paxos_base.f = opts_.f;
-  paxos_base.mode = opts_.protocol == Protocol::kFPaxos ? paxos::QuorumMode::kFlexible
-                                                        : paxos::QuorumMode::kClassic;
+  // Leader selection needs the latency model and client placement, so it stays a
+  // harness concern; the chosen leader is handed to the assembly layer. The quorum
+  // geometry used to pick the fairest leader is the one the engines run.
   if (opts_.protocol == Protocol::kFPaxos || opts_.protocol == Protocol::kPaxos) {
+    paxos::Config paxos_base;
+    paxos_base.n = n;
+    paxos_base.f = opts_.f;
+    paxos_base.mode = opts_.protocol == Protocol::kFPaxos
+                          ? paxos::QuorumMode::kFlexible
+                          : paxos::QuorumMode::kClassic;
     leader_ = opts_.leader != common::kInvalidProcess
                   ? opts_.leader
-                  : FairestLeader(opts_.site_regions, client_regions,
+                  : FairestLeader(opts_.site_regions, sim::ClientSites(),
                                   paxos_base.Phase2Size());
   }
 
-  // One protocol engine for site i (one partition's worth of it on sharded
-  // deployments; every partition of a site gets an identical configuration).
-  auto make_engine = [&, this](uint32_t i) -> std::unique_ptr<smr::Engine> {
-    switch (opts_.protocol) {
-      case Protocol::kAtlas: {
-        atlas::Config cfg;
-        cfg.n = n;
-        cfg.f = opts_.f;
-        cfg.nfr = opts_.nfr;
-        cfg.prune_slow_path = opts_.prune_slow_path;
-        cfg.index_mode = opts_.index_mode;
-        cfg.by_proximity = ByProximity(lat, n, i);
-        return std::make_unique<atlas::AtlasEngine>(cfg);
-      }
-      case Protocol::kEPaxos: {
-        epaxos::Config cfg;
-        cfg.n = n;
-        cfg.nfr = opts_.nfr;
-        cfg.index_mode = opts_.index_mode;
-        cfg.by_proximity = ByProximity(lat, n, i);
-        return std::make_unique<epaxos::EPaxosEngine>(cfg);
-      }
-      case Protocol::kFPaxos:
-      case Protocol::kPaxos: {
-        paxos::Config cfg = paxos_base;
-        cfg.initial_leader = leader_;
-        cfg.by_proximity = ByProximity(lat, n, i);
-        return std::make_unique<paxos::PaxosEngine>(cfg);
-      }
-      case Protocol::kMencius: {
-        mencius::Config cfg;
-        cfg.n = n;
-        return std::make_unique<mencius::MenciusEngine>(cfg);
-      }
-    }
-    return nullptr;
-  };
-
+  // All replica assembly goes through smr::Deployment — the harness builds no
+  // engine (bare or sharded) directly.
   for (uint32_t i = 0; i < n; i++) {
-    if (opts_.partitions == 1) {
-      // Classic single-engine replica: exactly the seeded deployment, no wrapper in
-      // the message path (the determinism pins rely on this).
-      engines_.push_back(make_engine(i));
-    } else {
-      smr::ShardedOptions so;
-      so.partitions = opts_.partitions;
-      so.batch_window = opts_.batch_window;
-      so.batch_max = opts_.batch_max;
-      engines_.push_back(std::make_unique<smr::ShardedEngine>(
-          so, [&make_engine, i](uint32_t) { return make_engine(i); }));
-    }
+    smr::DeploymentOptions d;
+    d.protocol = opts_.protocol;
+    d.n = n;
+    d.f = opts_.f;
+    d.nfr = opts_.nfr;
+    d.prune_slow_path = opts_.prune_slow_path;
+    d.index_mode = opts_.index_mode;
+    d.by_proximity = ByProximity(lat, n, i);
+    d.leader = leader_;
+    d.partitions = opts_.partitions;
+    d.batch_window = opts_.batch_window;
+    d.batch_max = opts_.batch_max;
+    replicas_.push_back(std::make_unique<smr::Deployment>(std::move(d)));
   }
 
-  for (auto& e : engines_) {
-    sim_->AddEngine(e.get());
+  for (auto& r : replicas_) {
+    sim_->AddEngine(&r->engine());
   }
   sim_->SetExecutedHandler([this](common::ProcessId p, const common::Dot& d,
                                   const smr::Command& c) { OnExecuted(p, d, c); });
@@ -216,17 +159,10 @@ void Cluster::IssueNext(uint64_t client_index) {
 
 void Cluster::OnCommitted(common::ProcessId p, const common::Dot& dot,
                           const smr::Command& cmd, bool fast) {
-  if (cmd.is_batch()) {
-    // A batch commit commits every client command it carries; record each one's
-    // commit latency (its own scratch: the Committed hook fires mid-ApplyCommit,
-    // and OnExecuted may unpack into batch_scratch_ later in the same call chain).
-    CHECK(smr::UnpackBatch(cmd, commit_batch_scratch_));
-    for (const smr::Command& sub : commit_batch_scratch_) {
-      CommitOne(p, sub);
-    }
-    return;
-  }
-  CommitOne(p, cmd);
+  // A batch commit commits every client command it carries; record each one's
+  // commit latency.
+  replicas_[p]->ForEachCommitted(
+      cmd, [this, p](const smr::Command& sub) { CommitOne(p, sub); });
 }
 
 void Cluster::CommitOne(common::ProcessId p, const smr::Command& cmd) {
@@ -246,25 +182,17 @@ void Cluster::CommitOne(common::ProcessId p, const smr::Command& cmd) {
 
 void Cluster::OnExecuted(common::ProcessId p, const common::Dot& dot,
                          const smr::Command& cmd) {
-  if (cmd.is_batch()) {
-    // Composite submission batch (sharded replicas): unpack and account each client
-    // command individually — store apply, checker history, client completion.
-    CHECK(smr::UnpackBatch(cmd, batch_scratch_));
-    for (const smr::Command& sub : batch_scratch_) {
-      ApplyExecuted(p, dot, sub);
-    }
-    return;
-  }
-  ApplyExecuted(p, dot, cmd);
+  // The site's Deployment applies the command (unpacking composite submission
+  // batches) to its per-shard stores and counts; the harness accounts each client
+  // command on top — checker history, execution trace, client completion.
+  replicas_[p]->ApplyExecuted(
+      cmd, [this, p, &dot](uint32_t shard, const smr::Command& sub, std::string&&) {
+        AccountExecuted(p, dot, shard, sub);
+      });
 }
 
-void Cluster::ApplyExecuted(common::ProcessId p, const common::Dot& dot,
-                            const smr::Command& cmd) {
-  uint32_t shard = ShardOfCmd(cmd);
-  stores_[StoreIndex(p, shard)]->Apply(cmd);
-  if (!cmd.is_noop()) {
-    applied_counts_[StoreIndex(p, shard)]++;
-  }
+void Cluster::AccountExecuted(common::ProcessId p, const common::Dot& dot,
+                              uint32_t shard, const smr::Command& cmd) {
   if (!checkers_.empty()) {
     checkers_[shard]->OnExecute(p, cmd, sim_->Now());
     exec_trace_.push_back(ExecRecord{p, dot, cmd});
@@ -314,16 +242,9 @@ void Cluster::CompleteClient(uint64_t client_index, common::Time completion_time
 
 void Cluster::OnDropped(common::ProcessId p, const common::Dot& dot,
                         const smr::Command& orig) {
-  if (orig.is_batch()) {
-    // A dropped batch drops every client command it carried; resubmit each.
-    std::vector<smr::Command> subs;  // not batch_scratch_: DropOne may reenter via Submit
-    CHECK(smr::UnpackBatch(orig, subs));
-    for (const smr::Command& sub : subs) {
-      DropOne(sub);
-    }
-    return;
-  }
-  DropOne(orig);
+  // A dropped batch drops every client command it carried; resubmit each.
+  replicas_[p]->ForEachDropped(orig,
+                               [this](const smr::Command& sub) { DropOne(sub); });
 }
 
 void Cluster::DropOne(const smr::Command& orig) {
@@ -361,7 +282,7 @@ void Cluster::ScheduleCrash(common::ProcessId site, common::Time at,
   sim_->Post(at + detection_timeout, [this, site]() {
     for (uint32_t p = 0; p < n(); p++) {
       if (p != site && !sim_->IsCrashed(p)) {
-        engines_[p]->OnSuspect(site);
+        replicas_[p]->engine().OnSuspect(site);
       }
     }
     MigrateClients(site);
@@ -420,24 +341,20 @@ Metrics Cluster::Snapshot() const {
     m.per_shard.assign(opts_.partitions, smr::EngineStats{});
   }
   for (uint32_t p = 0; p < n(); p++) {
-    const smr::EngineStats& s = engines_[p]->stats();
+    const smr::Deployment& replica = *replicas_[p];
+    smr::EngineStats s = replica.stats();
     fast += s.fast_paths;
     slow += s.slow_paths;
     executed += s.executed;
-    if (opts_.partitions == 1) {
-      if (opts_.protocol == Protocol::kAtlas) {
-        max_batch = std::max(
-            max_batch, static_cast<const atlas::AtlasEngine&>(*engines_[p]).MaxBatch());
-      }
-      continue;
-    }
-    const auto& sharded = static_cast<const smr::ShardedEngine&>(*engines_[p]);
     for (uint32_t shard = 0; shard < opts_.partitions; shard++) {
-      m.per_shard[shard] += sharded.shard_stats(shard);
+      if (opts_.partitions > 1) {
+        m.per_shard[shard] += replica.shard_stats(shard);
+      }
       if (opts_.protocol == Protocol::kAtlas) {
-        max_batch = std::max(
-            max_batch,
-            static_cast<const atlas::AtlasEngine&>(sharded.shard(shard)).MaxBatch());
+        max_batch = std::max(max_batch,
+                             static_cast<const atlas::AtlasEngine&>(
+                                 replica.shard_engine(shard))
+                                 .MaxBatch());
       }
     }
   }
@@ -500,15 +417,15 @@ chk::CheckResult Cluster::Finish(bool abort_on_error) {
       }
       if (opts_.partitions == 1) {
         // Classic deployment: one store, engine-level executed count (as seeded).
-        checkers_[0]->OnStateDigest(p, stores_[p]->StateDigest(),
-                                    engines_[p]->stats().executed);
+        checkers_[0]->OnStateDigest(p, replicas_[p]->store().StateDigest(),
+                                    replicas_[p]->stats().executed);
       } else {
         // Replica convergence holds per partition: replicas may interleave shard
         // streams differently, but each (site, shard) store must match its peers
         // that applied the same number of that shard's commands.
         for (uint32_t s = 0; s < opts_.partitions; s++) {
-          checkers_[s]->OnStateDigest(p, stores_[StoreIndex(p, s)]->StateDigest(),
-                                      applied_counts_[StoreIndex(p, s)]);
+          checkers_[s]->OnStateDigest(p, replicas_[p]->store(s).StateDigest(),
+                                      replicas_[p]->applied_count(s));
         }
       }
     }

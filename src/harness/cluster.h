@@ -17,22 +17,16 @@
 #include "src/kvs/kvs.h"
 #include "src/sim/simulator.h"
 #include "src/smr/conflict_index.h"
+#include "src/smr/deployment.h"
 #include "src/smr/engine.h"
-#include "src/smr/partitioner.h"
-#include "src/smr/sharded_engine.h"
 #include "src/wl/workload.h"
 
 namespace harness {
 
-enum class Protocol {
-  kAtlas,
-  kEPaxos,
-  kFPaxos,
-  kPaxos,    // classic majority quorums
-  kMencius,
-};
-
-const char* ProtocolName(Protocol p);
+// Protocol selection lives with the replica assembly layer now; the harness names
+// are aliases so existing call sites (tests, benches) read unchanged.
+using Protocol = smr::Protocol;
+using smr::ProtocolName;
 
 struct ClusterOptions {
   Protocol protocol = Protocol::kAtlas;
@@ -151,11 +145,13 @@ class Cluster {
   const std::vector<ExecRecord>& ExecTrace() const { return exec_trace_; }
 
   sim::Simulator& simulator() { return *sim_; }
-  smr::Engine& engine(common::ProcessId p) { return *engines_[p]; }
+  smr::Engine& engine(common::ProcessId p) { return replicas_[p]->engine(); }
+  smr::Deployment& replica(common::ProcessId p) { return *replicas_[p]; }
   // Per-(site, partition) service replica. The one-argument form is partition 0 —
-  // the whole store in unsharded deployments.
+  // the whole store in unsharded deployments. The harness always deploys the
+  // default state machine, so the KvStore downcast is safe.
   const kvs::KvStore& store(common::ProcessId p, uint32_t shard = 0) const {
-    return *stores_[StoreIndex(p, shard)];
+    return static_cast<const kvs::KvStore&>(replicas_[p]->store(shard));
   }
   uint32_t n() const { return static_cast<uint32_t>(opts_.site_regions.size()); }
   uint32_t partitions() const { return opts_.partitions; }
@@ -181,12 +177,14 @@ class Cluster {
     uint64_t window_latency_count = 0;
   };
 
-  void BuildEngines();
+  void BuildReplicas();
   void IssueNext(uint64_t client_index);
   void OnExecuted(common::ProcessId p, const common::Dot& dot, const smr::Command& cmd);
-  // Applies one non-composite command at site p (store, checker, client completion).
-  void ApplyExecuted(common::ProcessId p, const common::Dot& dot,
-                     const smr::Command& cmd);
+  // Accounts one applied (non-composite) command at site p: checker history,
+  // execution trace, client completion. Store apply and applied counts already
+  // happened inside the site's Deployment.
+  void AccountExecuted(common::ProcessId p, const common::Dot& dot, uint32_t shard,
+                       const smr::Command& cmd);
   void OnCommitted(common::ProcessId p, const common::Dot& dot, const smr::Command& cmd,
                    bool fast);
   void CommitOne(common::ProcessId p, const smr::Command& cmd);
@@ -195,30 +193,22 @@ class Cluster {
   void CompleteClient(uint64_t client_index, common::Time completion_time);
   void MigrateClients(common::ProcessId dead_site);
 
-  size_t StoreIndex(common::ProcessId p, uint32_t shard) const {
-    return static_cast<size_t>(p) * opts_.partitions + shard;
-  }
-  // Partition of a command's key (0 for noOps, which apply nowhere and are skipped
-  // by the checker anyway).
+  // Partition of a command's key, for checker routing. Delegates to the replica
+  // assembly layer so the key-to-shard policy has one definition (every site's
+  // deployment shares the same partitioner configuration).
   uint32_t ShardOfCmd(const smr::Command& cmd) const {
-    return cmd.is_noop() ? 0 : partitioner_.ShardOf(cmd.key);
+    return replicas_[0]->ShardOfCmd(cmd);
   }
 
   ClusterOptions opts_;
-  smr::Partitioner partitioner_;
   std::unique_ptr<sim::Simulator> sim_;
-  std::vector<std::unique_ptr<smr::Engine>> engines_;
-  // Indexed by StoreIndex(site, shard): sharded replicas partition the service state,
-  // so replica convergence (digests) is checked per (site, shard) pair.
-  std::vector<std::unique_ptr<kvs::KvStore>> stores_;
+  // One Deployment per site: the replica assembly layer owns engines, per-shard
+  // stores, applied counts and the kBatch unpack scratch. The harness adds only
+  // what the simulation needs on top (checkers, clients, metrics).
+  std::vector<std::unique_ptr<smr::Deployment>> replicas_;
   // One history checker per partition: commands in different partitions never
   // conflict, so each partition's history is independently checkable.
   std::vector<std::unique_ptr<chk::HistoryChecker>> checkers_;
-  // Non-noop commands applied per (site, shard); the per-shard executed_count used
-  // for digest comparability between replicas.
-  std::vector<uint64_t> applied_counts_;
-  std::vector<smr::Command> batch_scratch_;         // UnpackBatch reuse (execute path)
-  std::vector<smr::Command> commit_batch_scratch_;  // ... commit-latency path
 
   std::vector<Client> clients_;
   // (client, seq) -> client index, for completion routing.

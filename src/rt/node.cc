@@ -131,11 +131,11 @@ class Connection {
   bool closed_ = false;
 };
 
-Node::Node(common::ProcessId id, std::vector<PeerAddress> peers, smr::Engine* engine,
-           smr::StateMachine* state_machine)
-    : self_(id), peers_(std::move(peers)), engine_(engine),
-      state_machine_(state_machine) {
+Node::Node(common::ProcessId id, std::vector<PeerAddress> peers,
+           smr::Deployment* deployment)
+    : self_(id), peers_(std::move(peers)), deployment_(deployment) {
   CHECK_LT(self_, peers_.size());
+  CHECK(deployment_ != nullptr);
 }
 
 Node::~Node() {
@@ -220,8 +220,12 @@ void Node::MaybeStartEngine() {
     return;
   }
   engine_started_ = true;
-  engine_->Bind(self_, static_cast<uint32_t>(peers_.size()), this);
-  engine_->OnStart();
+  deployment_->engine().Bind(self_, static_cast<uint32_t>(peers_.size()), this);
+  deployment_->engine().OnStart();
+  for (smr::Command& cmd : pending_submits_) {
+    deployment_->engine().Submit(std::move(cmd));
+  }
+  pending_submits_.clear();
 }
 
 void Node::OnFrame(Connection* conn, const uint8_t* data, size_t size) {
@@ -256,15 +260,39 @@ void Node::OnFrame(Connection* conn, const uint8_t* data, size_t size) {
       }
       if (conn->is_client) {
         if (auto* req = msg::get_if<msg::ClientRequest>(&m)) {
+          // kBatch is an internal composite (built by the sharded submission
+          // path, client 0): an untrusted client injecting one would crash the
+          // whole cluster at the deployment's unpack CHECK once it replicated.
+          // Reject it at the door, at any partition count.
+          bool unroutable = req->cmd.is_batch();
+          if (!unroutable && deployment_->partitions() > 1) {
+            // Partition-aware routing: validate against the deployment's
+            // Partitioner before the command reaches an engine. A routable
+            // command lands directly on its shard's engine inside
+            // ShardedEngine::Submit — no extra hop. Unroutable input from an
+            // untrusted client (noOps, key sets spanning partitions) is
+            // rejected as dropped instead of CHECK-crashing the replica. P=1
+            // submits verbatim, exactly as the seeded runtime did.
+            uint32_t shard = 0;
+            unroutable = !deployment_->partitioner().SingleShard(req->cmd, &shard);
+          }
+          if (unroutable) {
+            // Reply directly on this connection: going through waiting_clients_
+            // could clobber an in-flight entry reusing the same (client, seq).
+            SendReply(conn, req->cmd.client, req->cmd.seq, "", /*dropped=*/true);
+            return;
+          }
           waiting_clients_[chk::CmdKey{req->cmd.client, req->cmd.seq}] = conn;
           if (engine_started_) {
-            engine_->Submit(req->cmd);
+            deployment_->engine().Submit(req->cmd);
+          } else {
+            pending_submits_.push_back(req->cmd);
           }
         }
         return;
       }
       if (conn->peer_id != common::kInvalidProcess && engine_started_) {
-        engine_->OnMessage(conn->peer_id, m);
+        deployment_->engine().OnMessage(conn->peer_id, m);
       }
       break;
     }
@@ -288,44 +316,54 @@ void Node::Send(common::ProcessId to, msg::Message m) {
 }
 
 void Node::SetTimer(common::Duration delay, uint64_t token) {
-  loop_.AddTimer(delay, [this, token]() { engine_->OnTimer(token); });
+  // The token is round-tripped untouched back into the deployment's top-level
+  // engine: on sharded replicas it already carries the shard tag (and the
+  // flush-vs-inner discriminator bit) stamped by the ShardedEngine, so two inner
+  // engines picking equal raw tokens can never collide in the timer wheel.
+  loop_.AddTimer(delay,
+                 [this, token]() { deployment_->engine().OnTimer(token); });
 }
 
 void Node::Executed(const common::Dot& dot, const smr::Command& cmd) {
-  std::string result = state_machine_->Apply(cmd);
-  auto it = waiting_clients_.find(chk::CmdKey{cmd.client, cmd.seq});
-  if (it == waiting_clients_.end()) {
-    return;
-  }
-  Connection* conn = it->second;
-  waiting_clients_.erase(it);
-  if (conn == nullptr || conn->closed()) {
-    return;
-  }
-  msg::ClientReply reply;
-  reply.client = cmd.client;
-  reply.seq = cmd.seq;
-  reply.value = std::move(result);
-  encode_scratch_.Clear();
-  encode_scratch_.U8(kFrameMessage);
-  msg::Encode(encode_scratch_, msg::Message{reply});
-  conn->SendFrame(encode_scratch_.buffer());
+  // The deployment demultiplexes the executed command — unpacking kBatch
+  // composites — onto its per-shard stores; each client sub-command's result is
+  // sent to the client waiting on it (if it submitted here).
+  deployment_->ApplyExecuted(
+      cmd, [this](uint32_t, const smr::Command& sub, std::string&& result) {
+        if (!sub.is_noop()) {
+          applied_ops_.fetch_add(1, std::memory_order_release);
+        }
+        ReplyToClient(sub.client, sub.seq, std::move(result), /*dropped=*/false);
+      });
 }
 
 void Node::Dropped(const common::Dot& dot, const smr::Command& original) {
-  auto it = waiting_clients_.find(chk::CmdKey{original.client, original.seq});
+  deployment_->ForEachDropped(original, [this](const smr::Command& sub) {
+    ReplyToClient(sub.client, sub.seq, "", /*dropped=*/true);
+  });
+}
+
+void Node::ReplyToClient(uint64_t client, uint64_t seq, std::string&& value,
+                         bool dropped) {
+  auto it = waiting_clients_.find(chk::CmdKey{client, seq});
   if (it == waiting_clients_.end()) {
     return;
   }
   Connection* conn = it->second;
   waiting_clients_.erase(it);
+  SendReply(conn, client, seq, std::move(value), dropped);
+}
+
+void Node::SendReply(Connection* conn, uint64_t client, uint64_t seq,
+                     std::string&& value, bool dropped) {
   if (conn == nullptr || conn->closed()) {
     return;
   }
   msg::ClientReply reply;
-  reply.client = original.client;
-  reply.seq = original.seq;
-  reply.dropped = true;
+  reply.client = client;
+  reply.seq = seq;
+  reply.value = std::move(value);
+  reply.dropped = dropped;
   encode_scratch_.Clear();
   encode_scratch_.U8(kFrameMessage);
   msg::Encode(encode_scratch_, msg::Message{reply});

@@ -1,4 +1,4 @@
-// Real-runtime replica node: runs any sans-I/O engine over TCP.
+// Real-runtime replica node: runs one smr::Deployment — bare or sharded — over TCP.
 //
 // A node listens on one port for both peer and client connections; frames are
 // 4-byte little-endian length + codec-encoded payload:
@@ -6,14 +6,19 @@
 //   client hello: [u8 = 2]
 //   message:      [u8 = 0][msg::Message]
 // Peers form a full mesh (node i dials every peer j > i; lower ids accept). Client
-// ClientRequest commands are submitted to the local engine; the reply is sent when the
-// command executes locally.
+// ClientRequest commands are routed through the deployment's smr::Partitioner —
+// on sharded replicas the command lands directly on its partition's engine, with
+// no extra hop — and the reply is sent when the command executes locally. The
+// message envelope's shard tag and the shard-tagged timer tokens both round-trip
+// through the node unchanged, so one listen socket and one timer wheel serve all
+// partitions (the assembly is identical to what the simulator harness drives).
 //
 // Scope: the failure-free data path (reconnect/catch-up on TCP loss is future work;
 // the simulator covers failure experiments deterministically).
 #ifndef SRC_RT_NODE_H_
 #define SRC_RT_NODE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -23,8 +28,7 @@
 #include "src/chk/checker.h"
 #include "src/codec/codec.h"
 #include "src/rt/event_loop.h"
-#include "src/smr/engine.h"
-#include "src/smr/state_machine.h"
+#include "src/smr/deployment.h"
 
 namespace rt {
 
@@ -37,9 +41,10 @@ class Connection;
 
 class Node final : public smr::Context {
  public:
-  // Engine and state machine are borrowed and must outlive the node.
-  Node(common::ProcessId id, std::vector<PeerAddress> peers, smr::Engine* engine,
-       smr::StateMachine* state_machine);
+  // The deployment (one node's full replica assembly: engine, per-shard stores,
+  // batching) is borrowed and must outlive the node.
+  Node(common::ProcessId id, std::vector<PeerAddress> peers,
+       smr::Deployment* deployment);
   ~Node();
 
   // Binds the listen socket; returns false on bind failure.
@@ -50,6 +55,13 @@ class Node final : public smr::Context {
   void Stop();
 
   uint16_t port() const { return peers_[self_].port; }
+
+  // Client commands applied to this node's stores so far (sub-commands of a batch
+  // count individually; noOps excluded). Safe to read from other threads: tests
+  // poll it to detect quiescence before stopping the cluster.
+  uint64_t applied_ops() const {
+    return applied_ops_.load(std::memory_order_acquire);
+  }
 
   // smr::Context:
   void Send(common::ProcessId to, msg::Message m) override;
@@ -65,11 +77,15 @@ class Node final : public smr::Context {
   void OnPeerConnected(common::ProcessId peer, std::unique_ptr<Connection> conn);
   void OnFrame(Connection* conn, const uint8_t* data, size_t size);
   void MaybeStartEngine();
+  // Sends a ClientReply frame to the client waiting on (client, seq), if any.
+  void ReplyToClient(uint64_t client, uint64_t seq, std::string&& value, bool dropped);
+  // Sends a ClientReply frame on a specific connection (rejection path).
+  void SendReply(Connection* conn, uint64_t client, uint64_t seq, std::string&& value,
+                 bool dropped);
 
   common::ProcessId self_;
   std::vector<PeerAddress> peers_;
-  smr::Engine* engine_;
-  smr::StateMachine* state_machine_;
+  smr::Deployment* deployment_;
 
   EventLoop loop_;
   int listen_fd_ = -1;
@@ -77,9 +93,13 @@ class Node final : public smr::Context {
   std::vector<std::unique_ptr<Connection>> anonymous_;  // pre-hello + client conns
   // (client, seq) -> connection serving that client.
   std::unordered_map<chk::CmdKey, Connection*, chk::CmdKeyHash> waiting_clients_;
+  // Client commands that arrived before the peer mesh completed; submitted the
+  // moment the engine starts (previously they were dropped and the client hung).
+  std::vector<smr::Command> pending_submits_;
   // Reused (clear-not-reallocate) encode scratch for all outbound frames; pre-sized
   // per message via msg::EncodedSize so encoding never grows it mid-message.
   codec::Writer encode_scratch_;
+  std::atomic<uint64_t> applied_ops_{0};
   bool engine_started_ = false;
 };
 

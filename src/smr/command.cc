@@ -98,31 +98,47 @@ Command MakeRmw(uint64_t client, uint64_t seq, std::string key, std::string valu
 Command MakeNoOp() { return Command{}; }
 
 Command MakeBatch(const std::vector<Command>& cmds) {
-  CHECK(!cmds.empty());
   Command b;
-  b.op = Op::kBatch;
   codec::Writer w;
-  w.Varint(cmds.size());
+  MakeBatchInto(cmds, w, b);
+  return b;
+}
+
+void MakeBatchInto(const std::vector<Command>& cmds, codec::Writer& scratch,
+                   Command& out) {
+  CHECK(!cmds.empty());
+  out.client = 0;
+  out.seq = 0;
+  out.op = Op::kBatch;
+  scratch.Clear();
+  scratch.Varint(cmds.size());
   for (const Command& c : cmds) {
     CHECK(!c.is_batch());  // no nesting
     CHECK(!c.is_noop());   // noOps conflict with everything; never batched
-    c.EncodeTo(w);
+    c.EncodeTo(scratch);
   }
-  b.value.assign(w.buffer().begin(), w.buffer().end());
-  // Deduplicated union of sub-command keys; batches are small, so the quadratic
-  // scan beats building a hash set.
+  out.value.assign(scratch.buffer().begin(), scratch.buffer().end());
+  // Deduplicated union of sub-command keys, sized once up front; batches are
+  // small, so the quadratic scan beats building a hash set.
+  size_t max_keys = 0;
+  for (const Command& c : cmds) {
+    max_keys += 1 + c.more_keys.size();
+  }
+  out.more_keys.clear();
+  out.more_keys.reserve(max_keys - 1);
   bool have_primary = false;
-  auto add_key = [&b, &have_primary](const std::string& k) {
+  auto add_key = [&out, &have_primary](const std::string& k) {
     if (!have_primary) {
-      b.key = k;
+      out.key = k;
       have_primary = true;
       return;
     }
-    if (k == b.key ||
-        std::find(b.more_keys.begin(), b.more_keys.end(), k) != b.more_keys.end()) {
+    if (k == out.key ||
+        std::find(out.more_keys.begin(), out.more_keys.end(), k) !=
+            out.more_keys.end()) {
       return;
     }
-    b.more_keys.push_back(k);
+    out.more_keys.push_back(k);
   };
   for (const Command& c : cmds) {
     add_key(c.key);
@@ -130,7 +146,6 @@ Command MakeBatch(const std::vector<Command>& cmds) {
       add_key(k);
     }
   }
-  return b;
 }
 
 bool UnpackBatch(const Command& batch, std::vector<Command>& out) {

@@ -85,6 +85,13 @@ Command MakeNoOp();
 // detection.
 Command MakeBatch(const std::vector<Command>& cmds);
 
+// Rebuilds `out` as the kBatch composite of `cmds`, encoding through `scratch`
+// (cleared first, capacity kept). The batching hot path calls this once per flush
+// with a per-shard scratch writer, so the encode buffer never reallocates once
+// warm; `out` is fully overwritten.
+void MakeBatchInto(const std::vector<Command>& cmds, codec::Writer& scratch,
+                   Command& out);
+
 // Decodes a kBatch's sub-commands into `out` (cleared first). Returns false if
 // `batch` is not a well-formed batch. `out` reuses its capacity across calls.
 bool UnpackBatch(const Command& batch, std::vector<Command>& out);

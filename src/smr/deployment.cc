@@ -1,0 +1,126 @@
+#include "src/smr/deployment.h"
+
+#include <utility>
+
+#include "src/core/atlas.h"
+#include "src/epaxos/epaxos.h"
+#include "src/kvs/kvs.h"
+#include "src/mencius/mencius.h"
+#include "src/paxos/multipaxos.h"
+
+namespace smr {
+
+const char* ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kAtlas:
+      return "Atlas";
+    case Protocol::kEPaxos:
+      return "EPaxos";
+    case Protocol::kFPaxos:
+      return "FPaxos";
+    case Protocol::kPaxos:
+      return "Paxos";
+    case Protocol::kMencius:
+      return "Mencius";
+  }
+  return "?";
+}
+
+namespace {
+
+// The one place in the tree where protocol engines are constructed for a replica.
+// Every partition of a node gets an identical configuration.
+std::unique_ptr<Engine> MakeProtocolEngine(const DeploymentOptions& o) {
+  switch (o.protocol) {
+    case Protocol::kAtlas: {
+      atlas::Config cfg;
+      cfg.n = o.n;
+      cfg.f = o.f;
+      cfg.nfr = o.nfr;
+      cfg.prune_slow_path = o.prune_slow_path;
+      cfg.index_mode = o.index_mode;
+      cfg.by_proximity = o.by_proximity;
+      return std::make_unique<atlas::AtlasEngine>(cfg);
+    }
+    case Protocol::kEPaxos: {
+      epaxos::Config cfg;
+      cfg.n = o.n;
+      cfg.nfr = o.nfr;
+      cfg.index_mode = o.index_mode;
+      cfg.by_proximity = o.by_proximity;
+      return std::make_unique<epaxos::EPaxosEngine>(cfg);
+    }
+    case Protocol::kFPaxos:
+    case Protocol::kPaxos: {
+      paxos::Config cfg;
+      cfg.n = o.n;
+      cfg.f = o.f;
+      cfg.mode = o.protocol == Protocol::kFPaxos ? paxos::QuorumMode::kFlexible
+                                                 : paxos::QuorumMode::kClassic;
+      cfg.initial_leader = o.leader != common::kInvalidProcess ? o.leader : 0;
+      cfg.by_proximity = o.by_proximity;
+      return std::make_unique<paxos::PaxosEngine>(cfg);
+    }
+    case Protocol::kMencius: {
+      mencius::Config cfg;
+      cfg.n = o.n;
+      return std::make_unique<mencius::MenciusEngine>(cfg);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Deployment::Deployment(DeploymentOptions opts)
+    : opts_(std::move(opts)), partitioner_(opts_.partitions) {
+  CHECK_GE(opts_.partitions, 1u);
+  CHECK_LE(opts_.partitions, ShardedEngine::kMaxPartitions);
+  if (opts_.partitions == 1) {
+    // Classic single-engine replica: exactly the seeded deployment, no wrapper in
+    // the message path (the determinism pins rely on this).
+    engine_ = MakeProtocolEngine(opts_);
+  } else {
+    ShardedOptions so;
+    so.partitions = opts_.partitions;
+    so.batch_window = opts_.batch_window;
+    so.batch_max = opts_.batch_max;
+    auto sharded = std::make_unique<ShardedEngine>(
+        so, [this](uint32_t) { return MakeProtocolEngine(opts_); });
+    sharded_ = sharded.get();
+    engine_ = std::move(sharded);
+  }
+  CHECK(engine_ != nullptr);
+  for (uint32_t s = 0; s < opts_.partitions; s++) {
+    stores_.push_back(opts_.state_machine_factory != nullptr
+                          ? opts_.state_machine_factory()
+                          : std::make_unique<kvs::KvStore>());
+    CHECK(stores_.back() != nullptr);
+  }
+  applied_counts_.assign(opts_.partitions, 0);
+}
+
+Deployment::~Deployment() = default;
+
+EngineStats Deployment::shard_stats(uint32_t shard) const {
+  CHECK_LT(shard, opts_.partitions);
+  return sharded_ != nullptr ? sharded_->shard_stats(shard) : engine_->stats();
+}
+
+Engine& Deployment::shard_engine(uint32_t shard) {
+  CHECK_LT(shard, opts_.partitions);
+  return sharded_ != nullptr ? sharded_->shard(shard) : *engine_;
+}
+
+const Engine& Deployment::shard_engine(uint32_t shard) const {
+  CHECK_LT(shard, opts_.partitions);
+  return sharded_ != nullptr ? sharded_->shard(shard) : *engine_;
+}
+
+void Deployment::FlushAll() {
+  if (sharded_ != nullptr) {
+    sharded_->FlushAll();
+  }
+}
+
+}  // namespace smr

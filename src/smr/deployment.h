@@ -1,0 +1,191 @@
+// Replica assembly: one node's full protocol deployment, shared by every driver.
+//
+// The paper's methodology is one codebase where protocols differ only in the commit
+// component. The sans-I/O engines honor that, but until this layer existed the
+// *assembly* of a replica — which protocol engine to build, whether to shard it,
+// how to wire per-shard stores, stats and submission batching — was duplicated
+// between the simulator harness and the TCP runtime (and the TCP runtime only knew
+// how to run a single bare engine). Deployment is the single construction site:
+//
+//   * P == 1: a bare protocol engine, byte-identical to the seeded single-engine
+//     replica (no wrapper in the message path, no batching — the determinism pins
+//     rely on this);
+//   * P > 1: a smr::ShardedEngine multiplexing P per-partition engines, each with
+//     its own dot space/conflict index/executor, plus per-shard service replicas
+//     (kvs::KvStore by default), per-shard applied counts and submission batching.
+//
+// Drivers (sim::Simulator via harness::Cluster, rt::Node over TCP) talk to the
+// assembled replica exclusively through the smr::Engine/Context interfaces, and use
+// the unpack helpers here to demultiplex executed/committed/dropped commands —
+// including kBatch composites — back to per-shard stores and per-client completions.
+// Compartmentalization (Whittaker et al.) calls this decoupling of replica roles
+// from deployment shape the enabler for deployment-side scaling; every future
+// deployment feature (membership, reconnection, multi-backend storage) lands here
+// once instead of per-driver.
+#ifndef SRC_SMR_DEPLOYMENT_H_
+#define SRC_SMR_DEPLOYMENT_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+#include "src/smr/command.h"
+#include "src/smr/conflict_index.h"
+#include "src/smr/engine.h"
+#include "src/smr/partitioner.h"
+#include "src/smr/sharded_engine.h"
+#include "src/smr/state_machine.h"
+
+namespace smr {
+
+// The commit component this deployment runs; everything else is shared.
+enum class Protocol {
+  kAtlas,
+  kEPaxos,
+  kFPaxos,
+  kPaxos,    // classic majority quorums
+  kMencius,
+};
+
+const char* ProtocolName(Protocol p);
+
+struct DeploymentOptions {
+  Protocol protocol = Protocol::kAtlas;
+  uint32_t n = 3;
+  uint32_t f = 1;
+  bool nfr = false;
+  bool prune_slow_path = true;
+  IndexMode index_mode = IndexMode::kCompressed;
+
+  // Peers of this node ordered by increasing network distance (self excluded);
+  // empty lets the engine fall back to id order.
+  std::vector<common::ProcessId> by_proximity;
+
+  // FPaxos/Paxos initial leader; kInvalidProcess defaults to process 0 (drivers
+  // with a latency model pick the fairest site and pass it in).
+  common::ProcessId leader = common::kInvalidProcess;
+
+  // Partitioned replica: `partitions` independent engines behind a ShardedEngine,
+  // with per-(node, partition) stores. 1 builds the classic bare-engine replica.
+  uint32_t partitions = 1;
+  // Submission batching on sharded replicas (ignored at partitions == 1, which
+  // must stay identical to the unbatched seed).
+  common::Duration batch_window = 0;
+  size_t batch_max = 64;
+
+  // Builds the per-shard service replica; nullptr defaults to kvs::KvStore.
+  std::function<std::unique_ptr<StateMachine>()> state_machine_factory;
+};
+
+class Deployment {
+ public:
+  explicit Deployment(DeploymentOptions opts);
+  ~Deployment();
+
+  // The replica's engine: bare at P=1, the ShardedEngine wrapper at P>1. Drivers
+  // Bind/OnStart/Submit/OnMessage/OnTimer through this single object; sharded
+  // deployments keep the shard tag on messages and timer tokens end-to-end.
+  Engine& engine() { return *engine_; }
+  const Engine& engine() const { return *engine_; }
+
+  uint32_t partitions() const { return opts_.partitions; }
+  Protocol protocol() const { return opts_.protocol; }
+  const Partitioner& partitioner() const { return partitioner_; }
+
+  // Partition of an executed/dropped command's key (0 for noOps, which apply
+  // nowhere and are skipped by checkers anyway).
+  uint32_t ShardOfCmd(const Command& cmd) const {
+    return cmd.is_noop() ? 0 : partitioner_.ShardOf(cmd.key);
+  }
+
+  // Per-shard service replica and its applied-command count (non-noop commands,
+  // the per-shard executed_count used for digest comparability between replicas).
+  StateMachine& store(uint32_t shard = 0) { return *stores_[shard]; }
+  const StateMachine& store(uint32_t shard = 0) const { return *stores_[shard]; }
+  uint64_t applied_count(uint32_t shard = 0) const { return applied_counts_[shard]; }
+
+  // Engine stats: aggregate over the replica, and per partition. shard_engine
+  // exposes the inner engine for protocol-specific introspection (downcasts in
+  // benches/tests); at P=1 shard 0 is the bare engine itself.
+  EngineStats stats() const { return engine_->stats(); }
+  EngineStats shard_stats(uint32_t shard) const;
+  Engine& shard_engine(uint32_t shard);
+  const Engine& shard_engine(uint32_t shard) const;
+
+  // Flushes pending submission batches (tests / drain); no-op on bare replicas.
+  void FlushAll();
+
+  // Applies one executed engine-level command — unpacking kBatch composites in
+  // encoded order — to the right per-shard store, bumping applied counts, then
+  // invokes fn(shard, sub_command, result) per client command (noOps included;
+  // they apply as no-ops and carry client 0). The unpack scratch is reused
+  // across calls (allocation-free for warm capacities).
+  template <class Fn>
+  void ApplyExecuted(const Command& cmd, Fn&& fn) {
+    if (cmd.is_batch()) {
+      CHECK(UnpackBatch(cmd, exec_scratch_));
+      for (const Command& sub : exec_scratch_) {
+        ApplyOne(sub, fn);
+      }
+      return;
+    }
+    ApplyOne(cmd, fn);
+  }
+
+  // Invokes fn(sub_command) for every client command a committed engine-level
+  // command carries. Separate scratch from ApplyExecuted: the Committed hook fires
+  // mid-ApplyCommit and the execute path may unpack later in the same call chain.
+  template <class Fn>
+  void ForEachCommitted(const Command& cmd, Fn&& fn) {
+    if (cmd.is_batch()) {
+      CHECK(UnpackBatch(cmd, commit_scratch_));
+      for (const Command& sub : commit_scratch_) {
+        fn(sub);
+      }
+      return;
+    }
+    fn(cmd);
+  }
+
+  // Invokes fn(sub_command) for every client command a dropped engine-level
+  // command carried. Uses a fresh buffer, not the exec scratch: drop handlers
+  // typically resubmit, which may reenter Submit -> batch -> unpack.
+  template <class Fn>
+  void ForEachDropped(const Command& orig, Fn&& fn) {
+    if (orig.is_batch()) {
+      std::vector<Command> subs;
+      CHECK(UnpackBatch(orig, subs));
+      for (const Command& sub : subs) {
+        fn(sub);
+      }
+      return;
+    }
+    fn(orig);
+  }
+
+ private:
+  template <class Fn>
+  void ApplyOne(const Command& cmd, Fn&& fn) {
+    uint32_t shard = ShardOfCmd(cmd);
+    std::string result = stores_[shard]->Apply(cmd);
+    if (!cmd.is_noop()) {
+      applied_counts_[shard]++;
+    }
+    fn(shard, cmd, std::move(result));
+  }
+
+  DeploymentOptions opts_;
+  Partitioner partitioner_;
+  std::unique_ptr<Engine> engine_;
+  ShardedEngine* sharded_ = nullptr;  // engine_ downcast when partitions > 1
+  std::vector<std::unique_ptr<StateMachine>> stores_;
+  std::vector<uint64_t> applied_counts_;
+  std::vector<Command> exec_scratch_;    // kBatch unpack reuse (execute path)
+  std::vector<Command> commit_scratch_;  // ... commit-notification path
+};
+
+}  // namespace smr
+
+#endif  // SRC_SMR_DEPLOYMENT_H_

@@ -53,6 +53,7 @@ ShardedEngine::ShardedEngine(ShardedOptions opts, EngineFactory factory)
     CHECK(shards_.back() != nullptr);
   }
   pending_.resize(opts_.partitions);
+  batch_writers_.resize(opts_.partitions);
 }
 
 ShardedEngine::~ShardedEngine() = default;
@@ -103,7 +104,9 @@ void ShardedEngine::Flush(uint32_t shard) {
     // submission, and per-command commit/drop semantics stay exact.
     shards_[shard]->Submit(std::move(buf[0]));
   } else {
-    shards_[shard]->Submit(MakeBatch(buf));
+    Command batch;
+    MakeBatchInto(buf, batch_writers_[shard], batch);
+    shards_[shard]->Submit(std::move(batch));
   }
   buf.clear();
 }

@@ -31,6 +31,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/codec/codec.h"
 #include "src/common/types.h"
 #include "src/msg/message.h"
 #include "src/smr/engine.h"
@@ -101,6 +102,10 @@ class ShardedEngine final : public Engine {
   std::vector<std::unique_ptr<ShardContext>> contexts_;
   // Per-shard submission buffers (batching mode); cleared (capacity kept) on flush.
   std::vector<std::vector<Command>> pending_;
+  // Per-shard kBatch encode scratch (MakeBatchInto): the composite's payload is
+  // encoded through a reused writer so flushing never regrows a fresh buffer
+  // (ROADMAP known-allocation, pinned by alloc_test).
+  std::vector<codec::Writer> batch_writers_;
   bool started_ = false;
 };
 

@@ -1,4 +1,5 @@
-// Real-runtime tests: the Atlas engine over actual TCP sockets on localhost.
+// Real-runtime tests: a P=1 Atlas deployment over actual TCP sockets on localhost
+// (framing and behavior must stay exactly as seeded; rt_sharded_test covers P>1).
 #include "src/rt/node.h"
 
 #include <gtest/gtest.h>
@@ -7,8 +8,7 @@
 
 #include <thread>
 
-#include "src/core/atlas.h"
-#include "src/kvs/kvs.h"
+#include "src/smr/deployment.h"
 
 namespace rt {
 namespace {
@@ -22,18 +22,16 @@ TEST(RtTest, ThreeNodeClusterServesClients) {
     for (uint32_t i = 0; i < n; i++) {
       addrs.push_back(PeerAddress{"127.0.0.1", static_cast<uint16_t>(base + i)});
     }
-    std::vector<std::unique_ptr<atlas::AtlasEngine>> engines;
-    std::vector<std::unique_ptr<kvs::KvStore>> stores;
+    std::vector<std::unique_ptr<smr::Deployment>> replicas;
     std::vector<std::unique_ptr<Node>> nodes;
     bool bind_ok = true;
     for (uint32_t i = 0; i < n; i++) {
-      atlas::Config cfg;
-      cfg.n = n;
-      cfg.f = 1;
-      engines.push_back(std::make_unique<atlas::AtlasEngine>(cfg));
-      stores.push_back(std::make_unique<kvs::KvStore>());
-      nodes.push_back(
-          std::make_unique<Node>(i, addrs, engines[i].get(), stores[i].get()));
+      smr::DeploymentOptions d;
+      d.protocol = smr::Protocol::kAtlas;
+      d.n = n;
+      d.f = 1;
+      replicas.push_back(std::make_unique<smr::Deployment>(std::move(d)));
+      nodes.push_back(std::make_unique<Node>(i, addrs, replicas[i].get()));
       if (!nodes.back()->Listen()) {
         bind_ok = false;
         break;
@@ -74,6 +72,19 @@ TEST(RtTest, ThreeNodeClusterServesClients) {
     ASSERT_TRUE(client2.Call(smr::MakeGet(2, 1, "k"), &result));
     EXPECT_EQ(result, "hello!");
 
+    // kBatch is an internal composite; a client injecting one (here with a
+    // garbage payload that would fail the deployment's unpack CHECK) must be
+    // rejected at the node, not crash the cluster.
+    smr::Command bogus_batch;
+    bogus_batch.client = 2;
+    bogus_batch.seq = 2;
+    bogus_batch.op = smr::Op::kBatch;
+    bogus_batch.key = "k";
+    ASSERT_TRUE(client2.Call(bogus_batch, &result));
+    EXPECT_EQ(result, "<dropped>");
+    ASSERT_TRUE(client2.Call(smr::MakeGet(2, 3, "k"), &result));
+    EXPECT_EQ(result, "hello!");
+
     for (auto& node : nodes) {
       node->Stop();
     }
@@ -81,7 +92,7 @@ TEST(RtTest, ThreeNodeClusterServesClients) {
       t.join();
     }
     // The replicas that served clients applied identical state.
-    EXPECT_EQ(stores[0]->StateDigest(), stores[1]->StateDigest());
+    EXPECT_EQ(replicas[0]->store().StateDigest(), replicas[1]->store().StateDigest());
     return;  // success
   }
   FAIL() << "could not bind a port block after 5 attempts";

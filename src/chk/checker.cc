@@ -59,7 +59,7 @@ void HistoryChecker::OnExecute(common::ProcessId p, const smr::Command& cmd,
 
   auto track_key = [&](const std::string& k) {
     auto& seqs = per_key_[k];
-    if (seqs.empty()) {
+    if (seqs.size() < n_) {  // n_ grows when restart columns are added
       seqs.resize(n_);
     }
     seqs[p].push_back(key);
@@ -70,6 +70,13 @@ void HistoryChecker::OnExecute(common::ProcessId p, const smr::Command& cmd,
   for (const auto& k : cmd.more_keys) {
     track_key(k);
   }
+}
+
+uint32_t HistoryChecker::AddRestartColumn() {
+  uint32_t col = n_++;
+  exec_index_.emplace_back();
+  exec_counter_.push_back(0);
+  return col;
 }
 
 void HistoryChecker::OnStateDigest(common::ProcessId p, uint64_t digest,

@@ -81,6 +81,13 @@ class HistoryChecker {
   void OnExecute(common::ProcessId p, const smr::Command& cmd, common::Time now);
   void OnStateDigest(common::ProcessId p, uint64_t digest, uint64_t executed_count);
 
+  // Crash/restart support: a restarted replica is a fresh process as far as the
+  // history is concerned (the amnesia model allows it to re-execute commands its dead
+  // incarnation already executed — within one column that would read as an Integrity
+  // violation). Returns the new incarnation's process column; the harness routes the
+  // restarted site's OnExecute/home through it.
+  uint32_t AddRestartColumn();
+
   // Validates the recorded history.
   CheckResult Validate() const;
 

@@ -32,6 +32,7 @@ void AtlasEngine::OnStart() {
   }
   CHECK_EQ(config_.by_proximity.size(), static_cast<size_t>(n_) - 1);
   CHECK_EQ(config_.n, n_);
+  commit_horizon_.assign(n_, 0);
 }
 
 Quorum AtlasEngine::PickFastQuorum(bool nfr_read) const {
@@ -124,6 +125,11 @@ void AtlasEngine::HandleMCollect(ProcessId from, const msg::MCollect& m) {
   Info& info = GetInfo(m.dot);
   if (info.phase != Phase::kStart) {  // precondition, line 7
     return;
+  }
+  if (m.dot.proc != self_) {
+    // Fast-quorum member: watch for the commit so a lost MCommit (or a partitioned
+    // coordinator) cannot leave this command pending here forever.
+    ArmWatch(m.dot, info);
   }
   // Line 8: dep[id] <- conflicts(c) ∪ past, collected straight into the per-command
   // state (no temporary set).
@@ -340,11 +346,48 @@ void AtlasEngine::ApplyCommit(const Dot& dot, const smr::Command& cmd, const Dep
   // fails. Inserting may rehash infos_, so `info` is dead from here on.
   for (const Dot& dep : commit_deps_scratch_) {
     if (!CommittedOrExecuted(dep)) {
-      GetInfo(dep);
-      if (suspected_.count(dep.proc) > 0) {
+      Info& di = GetInfo(dep);
+      // A committed command is blocked on this dependency; if its commit never
+      // arrives (lost on the wire), the watch recovers it without requiring the
+      // coordinator to be suspected.
+      ArmWatch(dep, di);
+      bool needs_scan = suspected_.count(dep.proc) > 0;
+      if (!peer_floors_.empty()) {
+        auto it = peer_floors_.find(dep.proc);
+        if (it != peer_floors_.end() && dep.seq < it->second) {
+          // Dependency owned by a dead incarnation: nobody will finish it for us.
+          di.orphaned = true;
+          any_orphaned_ = true;
+          needs_scan = true;
+        }
+      }
+      if (restarted_) {
+        if (di.next_recovery_at == 0) {
+          // Grace before this engine recovers it: the dep may simply be in flight.
+          di.next_recovery_at = ctx_->Now() + config_.recovery_retry_interval;
+        }
+        needs_scan = true;
+      }
+      if (needs_scan) {
         ArmScanTimer();
       }
     }
+  }
+  // Identifier-space gap watch: per-process identifiers are dense, so committing q:s
+  // while earlier identifiers of q are unknown here means their commits were lost
+  // (e.g. dropped across a partition). Watch them all *now* — per-process-compressed
+  // dependency sets only reveal the newest missing identifier, so waiting for dep
+  // chains would recover one identifier per commit_timeout and wedge the executor
+  // for gap×timeout (tens of seconds after a few seconds of partition).
+  if (config_.commit_timeout > 0 && dot.proc != self_) {
+    uint64_t& horizon = commit_horizon_[dot.proc];
+    for (uint64_t s = dot.seq; s > horizon + 1;) {
+      Dot missing{dot.proc, --s};
+      if (!CommittedOrExecuted(missing)) {
+        ArmWatch(missing, GetInfo(missing));
+      }
+    }
+    horizon = std::max(horizon, dot.seq);
   }
   // This call may execute `dot` (and others), erasing their infos_ entries.
   executor_.Commit(dot, commit_cmd_scratch_, commit_deps_scratch_);
@@ -492,6 +535,43 @@ void AtlasEngine::OnSuspect(ProcessId p) {
   }
 }
 
+void AtlasEngine::OnRestore(ProcessId p, uint64_t seq_floor) {
+  if (p == self_) {
+    return;
+  }
+  suspected_.erase(p);
+  uint64_t& floor = peer_floors_[p];
+  floor = std::max(floor, seq_floor);
+  // The restarted incarnation will never finish its predecessor's identifiers below
+  // the floor: keep any we know about scan-eligible.
+  std::vector<Dot> stale;
+  infos_.ForEach([&](const Dot& dot, const Info& info) {
+    if (dot.proc == p && dot.seq < seq_floor && !info.orphaned &&
+        info.phase != Phase::kCommit && info.phase != Phase::kExecute) {
+      stale.push_back(dot);
+    }
+  });
+  for (const Dot& dot : stale) {
+    GetInfo(dot).orphaned = true;
+    any_orphaned_ = true;
+  }
+  if (!stale.empty()) {
+    ArmScanTimer();
+  }
+}
+
+smr::RestartHint AtlasEngine::restart_hint() const {
+  return smr::RestartHint{next_seq_, 0};
+}
+
+void AtlasEngine::ApplyRestartHint(const smr::RestartHint& hint) {
+  next_seq_ = std::max(next_seq_, hint.seq_floor);
+  restart_floor_ = next_seq_;
+  restarted_ = true;
+  // Old commands resurface as dependencies of new commits; the scan recovers them.
+  ArmScanTimer();
+}
+
 void AtlasEngine::ArmScanTimer() {
   if (!scan_timer_armed_) {
     scan_timer_armed_ = true;
@@ -513,31 +593,69 @@ void AtlasEngine::OnTimer(uint64_t token) {
       Recover(dot);
       ctx_->SetTimer(config_.commit_timeout, token);
     }
+    return;
+  }
+  if ((token & 3) == kWatchToken) {
+    uint64_t packed = token >> 2;
+    Dot dot{static_cast<ProcessId>(packed >> 44), packed & ((uint64_t{1} << 44) - 1)};
+    if (!CommittedOrExecuted(dot)) {
+      // The commit outcome never reached us within the timeout: take over recovery
+      // (safe against a live coordinator — MRec runs at a higher ballot and the
+      // recovery quorum intersects the fast quorum, so a committed payload is
+      // always seen and re-proposed, never replaced by noOp).
+      Recover(dot);
+      ctx_->SetTimer(config_.commit_timeout, token);
+    }
   }
 }
 
+void AtlasEngine::ArmWatch(const Dot& dot, Info& info) {
+  if (config_.commit_timeout <= 0 || info.watched) {
+    return;
+  }
+  CHECK_LT(dot.seq, uint64_t{1} << 44);
+  info.watched = true;
+  ctx_->SetTimer(config_.commit_timeout,
+                 (((static_cast<uint64_t>(dot.proc) << 44) | dot.seq) << 2) |
+                     kWatchToken);
+}
+
 bool AtlasEngine::RecoveryScan() {
-  if (suspected_.empty()) {
+  if (suspected_.empty() && !restarted_ && !any_orphaned_) {
     return false;
   }
-  // Recover every known uncommitted command coordinated by a suspected process. New
-  // ballots are only started if the previous attempt has had time to finish.
+  // Recover every known uncommitted command coordinated by a suspected process (or
+  // orphaned by a restart; or, on a restarted engine, any pending identifier that is
+  // not one of our own new commands). New ballots are only started if the previous
+  // attempt has had time to finish.
   std::vector<Dot> to_recover;
+  std::vector<Dot> grace;
   bool any_pending = false;
   common::Time now = ctx_->Now();
   infos_.ForEach([&](const Dot& dot, const Info& info) {
     if (info.phase == Phase::kCommit || info.phase == Phase::kExecute) {
       return;
     }
-    if (suspected_.count(dot.proc) == 0) {
+    bool direct = suspected_.count(dot.proc) > 0 || info.orphaned;
+    if (!direct && !(restarted_ &&
+                     !(dot.proc == self_ && dot.seq >= restart_floor_))) {
       return;
     }
     any_pending = true;
+    if (!direct && info.next_recovery_at == 0) {
+      // Restart-driven eligibility gets a grace period: the command may simply be
+      // in flight at its live coordinator.
+      grace.push_back(dot);
+      return;
+    }
     if (info.next_recovery_at > now) {
       return;
     }
     to_recover.push_back(dot);
   });
+  for (const Dot& dot : grace) {
+    GetInfo(dot).next_recovery_at = now + config_.recovery_retry_interval;
+  }
   // Flat-map iteration order depends on the table layout; recover in canonical dot
   // order so seeded crash runs stay reproducible across map implementations.
   std::sort(to_recover.begin(), to_recover.end());

@@ -13,6 +13,7 @@
 
 #include <deque>
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -37,6 +38,9 @@ class AtlasEngine final : public smr::Engine {
   void OnMessage(common::ProcessId from, const msg::Message& m) override;
   void OnTimer(uint64_t token) override;
   void OnSuspect(common::ProcessId p) override;
+  void OnRestore(common::ProcessId p, uint64_t seq_floor) override;
+  smr::RestartHint restart_hint() const override;
+  void ApplyRestartHint(const smr::RestartHint& hint) override;
 
   // Starts recovery of `dot` explicitly (tests / harness). No-op if already committed.
   void Recover(const common::Dot& dot);
@@ -73,6 +77,11 @@ class AtlasEngine final : public smr::Engine {
     common::Quorum rec_acked;
     std::vector<std::pair<common::ProcessId, msg::MRecAck>> rec_acks;
     common::Time next_recovery_at = 0;
+    // Owned by a dead incarnation of a since-restarted process: stays eligible for
+    // the recovery scan even though its owner is no longer suspected.
+    bool orphaned = false;
+    // A commit-outcome watch timer is pending for this dot (see ArmWatch).
+    bool watched = false;
 
     // Original submitted payload (set at the initial coordinator only), used to report
     // commands that recovery replaced with noOp.
@@ -135,6 +144,19 @@ class AtlasEngine final : public smr::Engine {
   std::unordered_set<common::ProcessId> suspected_;
   bool scan_timer_armed_ = false;
 
+  // Restart bookkeeping. A restarted engine (ApplyRestartHint) re-learns decided
+  // commands through the recovery path: every pending identifier except its own new
+  // ones is scan-eligible (with a grace period so in-flight commands commit first).
+  // peer_floors_ records restarted peers' sequence floors so their abandoned dots
+  // stay recoverable after suspicion clears (per-Info `orphaned`).
+  bool restarted_ = false;
+  uint64_t restart_floor_ = 0;
+  // Highest committed identifier seen per process; commits above the horizon arm
+  // watches on every unknown identifier in the gap (lost-commit catch-up).
+  std::vector<uint64_t> commit_horizon_;
+  bool any_orphaned_ = false;
+  std::unordered_map<common::ProcessId, uint64_t> peer_floors_;
+
   // Bounded cache of decided (committed) values, answering late MRec/MConsensus after
   // the command executed and its Info was reclaimed. Full stability-based GC is out of
   // scope; the cache makes recovery of recently executed commands exact and falls back
@@ -147,8 +169,16 @@ class AtlasEngine final : public smr::Engine {
   std::deque<common::Dot> decided_order_;
   size_t decided_cache_limit_ = 1 << 17;
 
+  // Arms a commit-outcome watch for a dot this replica knows about but did not
+  // coordinate: if the commit has not arrived after commit_timeout (lost MCommit,
+  // partitioned coordinator), the watcher recovers the dot itself. No-op unless
+  // commit timeouts are configured, so failure-free deployments are unaffected.
+  void ArmWatch(const common::Dot& dot, Info& info);
+
   static constexpr uint64_t kRecoveryScanToken = 1;
   static constexpr uint64_t kCommitTimeoutToken = 2;  // low bits of per-dot timers
+  // Watch timers pack the full dot: ((proc << 44) | seq) << 2 | kWatchToken.
+  static constexpr uint64_t kWatchToken = 3;
 };
 
 }  // namespace atlas

@@ -34,6 +34,7 @@ void EPaxosEngine::OnStart() {
   }
   CHECK_EQ(config_.by_proximity.size(), static_cast<size_t>(n_) - 1);
   CHECK_EQ(config_.n, n_);
+  commit_horizon_.assign(n_, 0);
 }
 
 uint64_t EPaxosEngine::MaxConflictSeq(const DepSet& deps) const {
@@ -88,12 +89,23 @@ void EPaxosEngine::Submit(smr::Command cmd) {
     }
   }
   SendTo(self_, pre);
+  if (config_.commit_timeout > 0) {
+    ctx_->SetTimer(config_.commit_timeout, (dot.seq << 2) | kCommitTimeoutToken);
+  }
 }
 
 void EPaxosEngine::HandlePreAccept(ProcessId from, const msg::EpPreAccept& m) {
+  if (executor_.IsCommitted(m.dot)) {
+    return;  // duplicate delivery after the command was decided locally
+  }
   Info& info = GetInfo(m.dot);
   if (info.phase != Phase::kNone || info.bal != 0) {
     return;  // already moved past pre-accept (e.g. recovery touched this id)
+  }
+  if (m.dot.proc != self_) {
+    // Watch for the commit so a lost EpCommit (or a partitioned leader) cannot
+    // leave this command pending here forever.
+    ArmWatch(m.dot, info);
   }
   // Merge the leader's deps/seq with the local view, straight into the per-command
   // state (no temporary set).
@@ -124,6 +136,11 @@ void EPaxosEngine::HandlePreAcceptAck(ProcessId from, const msg::EpPreAcceptAck&
   Info& info = *found;
   if (m.dot.proc != self_ || info.phase != Phase::kPreAccepted ||
       !info.quorum.Contains(from) || info.preaccept_acked.Contains(from)) {
+    return;
+  }
+  if (info.bal != 0) {
+    // A recovery Prepare touched this identifier: our implicit ballot-0 proposal is
+    // dead. Committing (fast or slow) here could contradict the recoverer's choice.
     return;
   }
   info.preaccept_acked.Add(from);
@@ -195,6 +212,9 @@ void EPaxosEngine::RunAcceptPhase(const Dot& dot, Info& info, const smr::Command
 }
 
 void EPaxosEngine::HandleAccept(ProcessId from, const msg::EpAccept& m) {
+  if (executor_.IsCommitted(m.dot)) {
+    return;  // already decided locally; never re-accept (duplicates, stale recovery)
+  }
   Info& info = GetInfo(m.dot);
   if (info.phase == Phase::kCommitted || info.bal > m.ballot) {
     return;
@@ -265,7 +285,72 @@ void EPaxosEngine::ApplyCommit(const Dot& dot, const smr::Command& cmd,
   }
   stats_.committed++;
   ctx_->Committed(dot, cmd, fast_path);
+  RememberDecided(dot, cmd, deps, seqno);
+  // Every dependency must eventually commit for `dot` to execute; track unknown
+  // dependencies so the recovery scan can find them if their coordinator failed.
+  // Inserting may rehash infos_, so `info` is dead from here on.
+  for (const Dot& dep : deps) {
+    if (executor_.IsCommitted(dep)) {
+      continue;
+    }
+    Info& di = GetInfo(dep);
+    // A committed command is blocked on this dependency; if its commit never
+    // arrives (lost on the wire), the watch runs explicit prepare without
+    // requiring the leader to be suspected.
+    ArmWatch(dep, di);
+    bool needs_scan = suspected_.count(dep.proc) > 0;
+    if (!peer_floors_.empty()) {
+      auto it = peer_floors_.find(dep.proc);
+      if (it != peer_floors_.end() && dep.seq < it->second) {
+        // Dependency owned by a dead incarnation: nobody will finish it for us.
+        di.orphaned = true;
+        any_orphaned_ = true;
+        needs_scan = true;
+      }
+    }
+    if (restarted_) {
+      if (di.next_recovery_at == 0) {
+        // Grace before this engine recovers it: the dep may simply be in flight.
+        di.next_recovery_at = ctx_->Now() + config_.recovery_retry_interval;
+      }
+      needs_scan = true;
+    }
+    if (needs_scan) {
+      ArmScanTimer();
+    }
+  }
+  // Identifier-space gap watch: per-process identifiers are dense, so committing q:s
+  // while earlier identifiers of q are unknown here means their commits were lost
+  // (e.g. dropped across a partition). Watch them all *now* — compressed dependency
+  // sets only reveal the newest missing identifier, so waiting for dep chains would
+  // recover one identifier per commit_timeout and wedge the executor for
+  // gap*timeout.
+  if (config_.commit_timeout > 0 && dot.proc != self_) {
+    uint64_t& horizon = commit_horizon_[dot.proc];
+    for (uint64_t s = dot.seq; s > horizon + 1;) {
+      Dot missing{dot.proc, --s};
+      if (!executor_.IsCommitted(missing)) {
+        ArmWatch(missing, GetInfo(missing));
+      }
+    }
+    horizon = std::max(horizon, dot.seq);
+  }
   executor_.Commit(dot, cmd, deps, seqno);
+}
+
+void EPaxosEngine::RememberDecided(const Dot& dot, const smr::Command& cmd,
+                                   const DepSet& deps, uint64_t seqno) {
+  Decided& d = decided_[dot];
+  d.cmd = cmd;
+  d.deps = deps;
+  d.seqno = seqno;
+  if (decided_ring_.size() < decided_cache_limit_) {
+    decided_ring_.push_back(dot);
+  } else {
+    decided_.Erase(decided_ring_[decided_ring_pos_]);
+    decided_ring_[decided_ring_pos_] = dot;
+    decided_ring_pos_ = (decided_ring_pos_ + 1) % decided_cache_limit_;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -273,30 +358,189 @@ void EPaxosEngine::ApplyCommit(const Dot& dot, const smr::Command& cmd,
 // ---------------------------------------------------------------------------
 
 void EPaxosEngine::OnSuspect(ProcessId p) {
-  if (p == self_) {
+  if (p == self_ || !suspected_.insert(p).second) {
     return;
   }
-  suspected_.insert(p);
-  std::vector<Dot> to_recover;
-  infos_.ForEach([&](const Dot& dot, const Info& info) {
-    if (dot.proc == p && info.phase != Phase::kCommitted) {
-      to_recover.push_back(dot);
-    }
-  });
-  for (const Dot& dot : to_recover) {
-    Info& info = GetInfo(dot);
-    Ballot b = common::NextRecoveryBallot(self_, info.bal, n_);
-    info.rec_ballot = b;
-    info.rec_acked = Quorum();
-    info.rec_acks.clear();
-    msg::EpPrepare prep;
-    prep.dot = dot;
-    prep.ballot = b;
-    SendAll(prep);
+  if (RecoveryScan()) {
+    ArmScanTimer();
   }
 }
 
+void EPaxosEngine::OnRestore(ProcessId p, uint64_t seq_floor) {
+  if (p == self_) {
+    return;
+  }
+  suspected_.erase(p);
+  uint64_t& floor = peer_floors_[p];
+  floor = std::max(floor, seq_floor);
+  // Dots below the floor belong to the dead incarnation: it will never finish them,
+  // and p is no longer suspected, so mark them to keep the scan interested.
+  std::vector<Dot> stale;
+  infos_.ForEach([&](const Dot& dot, const Info& info) {
+    if (dot.proc == p && dot.seq < floor && !info.orphaned &&
+        info.phase != Phase::kCommitted) {
+      stale.push_back(dot);
+    }
+  });
+  for (const Dot& dot : stale) {
+    GetInfo(dot).orphaned = true;
+    any_orphaned_ = true;
+  }
+  if (!stale.empty()) {
+    ArmScanTimer();
+  }
+}
+
+smr::RestartHint EPaxosEngine::restart_hint() const {
+  return smr::RestartHint{next_seq_, 0};
+}
+
+void EPaxosEngine::ApplyRestartHint(const smr::RestartHint& hint) {
+  next_seq_ = std::max(next_seq_, hint.seq_floor);
+  restart_floor_ = next_seq_;
+  restarted_ = true;
+  // Old commands resurface as dependencies of new commits; the scan recovers them.
+  ArmScanTimer();
+}
+
+void EPaxosEngine::ArmScanTimer() {
+  if (!scan_timer_armed_) {
+    scan_timer_armed_ = true;
+    ctx_->SetTimer(config_.recovery_scan_interval, kRecoveryScanToken);
+  }
+}
+
+void EPaxosEngine::OnTimer(uint64_t token) {
+  if (token == kRecoveryScanToken) {
+    scan_timer_armed_ = false;
+    if (RecoveryScan()) {
+      ArmScanTimer();
+    }
+    return;
+  }
+  if ((token & 3) == kCommitTimeoutToken) {
+    Dot dot{self_, token >> 2};
+    if (executor_.IsCommitted(dot)) {
+      return;
+    }
+    Info* found = infos_.Find(dot);
+    if (found == nullptr) {
+      return;
+    }
+    StartRecovery(dot, *found);
+    ctx_->SetTimer(config_.commit_timeout, token);
+    return;
+  }
+  if ((token & 3) == kWatchToken) {
+    uint64_t packed = token >> 2;
+    Dot dot{static_cast<ProcessId>(packed >> 44), packed & ((uint64_t{1} << 44) - 1)};
+    if (executor_.IsCommitted(dot)) {
+      return;
+    }
+    Info* found = infos_.Find(dot);
+    if (found == nullptr) {
+      return;  // reclaimed (e.g. restart); the recovery scan owns it now
+    }
+    // The commit outcome never reached us within the timeout: run explicit prepare
+    // ourselves (safe against a live leader — Prepare carries a higher ballot and
+    // learns any committed or accepted value from the quorum).
+    StartRecovery(dot, *found);
+    ctx_->SetTimer(config_.commit_timeout, token);
+  }
+}
+
+void EPaxosEngine::ArmWatch(const Dot& dot, Info& info) {
+  if (config_.commit_timeout <= 0 || info.watched) {
+    return;
+  }
+  CHECK_LT(dot.seq, uint64_t{1} << 44);
+  info.watched = true;
+  ctx_->SetTimer(config_.commit_timeout,
+                 (((static_cast<uint64_t>(dot.proc) << 44) | dot.seq) << 2) |
+                     kWatchToken);
+}
+
+bool EPaxosEngine::RecoveryScan() {
+  if (suspected_.empty() && !restarted_ && !any_orphaned_) {
+    return false;
+  }
+  // Recover every known uncommitted command coordinated by a suspected process (or
+  // orphaned by a restart; or, on a restarted engine, any pending identifier that is
+  // not one of our own new commands). New ballots are only started if the previous
+  // attempt has had time to finish.
+  std::vector<Dot> to_recover;
+  std::vector<Dot> grace;
+  bool any_pending = false;
+  common::Time now = ctx_->Now();
+  infos_.ForEach([&](const Dot& dot, const Info& info) {
+    if (info.phase == Phase::kCommitted) {
+      return;
+    }
+    bool direct = suspected_.count(dot.proc) > 0 || info.orphaned;
+    if (!direct && !(restarted_ &&
+                     !(dot.proc == self_ && dot.seq >= restart_floor_))) {
+      return;
+    }
+    any_pending = true;
+    if (!direct && info.next_recovery_at == 0) {
+      // Restart-driven eligibility gets a grace period: the command may simply be
+      // in flight at its live coordinator.
+      grace.push_back(dot);
+      return;
+    }
+    if (info.next_recovery_at > now) {
+      return;
+    }
+    to_recover.push_back(dot);
+  });
+  for (const Dot& dot : grace) {
+    GetInfo(dot).next_recovery_at = now + config_.recovery_retry_interval;
+  }
+  // Flat-map iteration order depends on the table layout; recover in canonical dot
+  // order so seeded crash runs stay reproducible across map implementations.
+  std::sort(to_recover.begin(), to_recover.end());
+  for (const Dot& dot : to_recover) {
+    if (executor_.IsCommitted(dot)) {
+      continue;
+    }
+    StartRecovery(dot, GetInfo(dot));
+  }
+  return any_pending;
+}
+
+void EPaxosEngine::StartRecovery(const Dot& dot, Info& info) {
+  stats_.recoveries_started++;
+  Ballot b = common::NextRecoveryBallot(self_, std::max(info.bal, info.rec_ballot), n_);
+  info.rec_ballot = b;
+  info.rec_acked = Quorum();
+  info.rec_acks.clear();
+  info.next_recovery_at = ctx_->Now() + config_.recovery_retry_interval;
+  msg::EpPrepare prep;
+  prep.dot = dot;
+  prep.ballot = b;
+  if (info.phase != Phase::kNone || info.rec_cmd_known) {
+    prep.cmd = info.cmd;
+    prep.has_cmd = true;
+  }
+  SendAll(prep);
+}
+
 void EPaxosEngine::HandlePrepare(ProcessId from, const msg::EpPrepare& m) {
+  if (executor_.IsCommitted(m.dot)) {
+    // Already decided here. Answer from the decided cache when possible; beyond its
+    // horizon stay silent rather than claim ignorance — a kNone reply for an executed
+    // command could let recovery commit a noOp in its place.
+    const Decided* d = decided_.Find(m.dot);
+    if (d != nullptr) {
+      msg::EpCommit commit;
+      commit.dot = m.dot;
+      commit.cmd = d->cmd;
+      commit.deps = d->deps;
+      commit.seqno = d->seqno;
+      SendTo(from, commit);
+    }
+    return;
+  }
   Info& info = GetInfo(m.dot);
   if (info.phase != Phase::kCommitted && info.bal >= m.ballot) {
     return;
@@ -313,6 +557,15 @@ void EPaxosEngine::HandlePrepare(ProcessId from, const msg::EpPrepare& m) {
   ack.accepted_ballot = info.abal;
   ack.ballot = m.ballot;
   ack.was_initial_coordinator_reply = (m.dot.proc == self_);
+  if (m.has_cmd && !NfrRead(m.cmd)) {
+    // Report our *current* conflicts against the payload. A free-choice recovery
+    // must take deps from a majority — any majority intersects the quorum that
+    // (pre)accepted every conflicting commit, so the union below cannot miss an
+    // ordering edge the way the recoverer's local index can (e.g. a commit whose
+    // EpCommit to the recoverer was lost in a partition).
+    index_->CollectInto(m.cmd, m.dot, ack.fresh_deps);
+    ack.fresh_seqno = MaxConflictSeq(ack.fresh_deps) + 1;
+  }
   SendTo(from, ack);
 }
 
@@ -327,7 +580,10 @@ void EPaxosEngine::HandlePrepareAck(ProcessId from, const msg::EpPrepareAck& m) 
   }
   info.rec_acked.Add(from);
   info.rec_acks.push_back(m);
-  if (info.rec_acked.size() < config_.MajoritySize()) {
+  if (info.rec_acked.size() != config_.MajoritySize()) {
+    // Decide exactly once per ballot, on the first majority. A late ack must not
+    // re-run the choice: that could propose a second, different value at the same
+    // ballot, and mixed-value accept acks would then be counted together.
     return;
   }
   // Committed anywhere -> adopt. Accepted -> re-run Accept with the highest-ballot
@@ -371,6 +627,34 @@ void EPaxosEngine::HandlePrepareAck(ProcessId from, const msg::EpPrepareAck& m) 
     return;
   }
   if (any_preaccepted) {
+    // Split the pre-accept evidence. The original coordinator replying kPreAccepted
+    // proves nothing was committed (the coordinator commits first on both paths), so
+    // the value choice is free. Without that proof, identical non-coordinator
+    // pre-accepts may be the surviving trace of a fast commit — adopt their
+    // attributes exactly, never widened. Only when the choice is provably free do we
+    // fold in our current conflict index: a command that stalled through a partition
+    // must pick up dependencies on everything committed since, or it would execute
+    // unordered against those commands on some replicas.
+    bool coordinator_uncommitted = false;
+    const msg::EpPrepareAck* peer_pre = nullptr;
+    bool peers_identical = true;
+    for (const auto& ack : info.rec_acks) {
+      if (static_cast<Phase>(ack.phase) != Phase::kPreAccepted) {
+        continue;
+      }
+      if (ack.was_initial_coordinator_reply) {
+        coordinator_uncommitted = true;
+      } else if (peer_pre == nullptr) {
+        peer_pre = &ack;
+      } else if (ack.deps != peer_pre->deps || ack.seqno != peer_pre->seqno) {
+        peers_identical = false;
+      }
+    }
+    if (peer_pre != nullptr && peers_identical && !coordinator_uncommitted) {
+      RunAcceptPhase(m.dot, info, peer_pre->cmd, peer_pre->deps, peer_pre->seqno,
+                     m.ballot);
+      return;
+    }
     DepSet deps;
     uint64_t seqno = 0;
     smr::Command cmd;
@@ -380,6 +664,30 @@ void EPaxosEngine::HandlePrepareAck(ProcessId from, const msg::EpPrepareAck& m) 
         seqno = std::max(seqno, ack.seqno);
         cmd = ack.cmd;
       }
+    }
+    if (info.phase == Phase::kNone && !info.rec_cmd_known) {
+      // This prepare round ran without the payload (we only just learned it from
+      // the acks above), so no replier could report fresh conflicts against it.
+      // Choosing a value from stale pre-accept deps alone can miss an ordering
+      // edge; stash the command and re-prepare at a higher ballot carrying it.
+      info.cmd = cmd;
+      info.rec_cmd_known = true;
+      StartRecovery(m.dot, info);
+      return;
+    }
+    if (!NfrRead(cmd)) {
+      // Majority-fresh dependency collection: every ack carries the replier's
+      // current conflicts of the payload, and the recovery majority intersects the
+      // quorum behind every conflicting commit — so some ack contributes the edge
+      // even when our own index never saw that commit.
+      for (const auto& ack : info.rec_acks) {
+        deps.UnionWith(ack.fresh_deps);
+        seqno = std::max(seqno, ack.fresh_seqno);
+      }
+      DepSet local;  // CollectInto clears its output set; union via a scratch
+      index_->CollectInto(cmd, m.dot, local);
+      deps.UnionWith(local);
+      seqno = std::max(seqno, MaxConflictSeq(deps) + 1);
     }
     RunAcceptPhase(m.dot, info, cmd, std::move(deps), seqno, m.ballot);
     return;

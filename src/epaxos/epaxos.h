@@ -15,7 +15,12 @@
 // with the union of surviving dependencies otherwise. Full EPaxos fast-path recovery is
 // intentionally out of scope: the paper (§3.3) cites it as "very complex" and recently
 // shown to contain a bug [Sutra, IPL 2020]; none of the reproduced experiments exercise
-// EPaxos under failures.
+// EPaxos under failures. Recovery is driven by a paced scan (recovery_scan_interval /
+// recovery_retry_interval, mirroring Atlas) so lost Prepare rounds retry, plus an
+// optional per-command commit timeout for the submitting replica. A restarted replica
+// (ApplyRestartHint) re-learns decided commands through the same scan; a bounded
+// decided-value cache answers Prepares for recently executed commands whose Info was
+// reclaimed.
 //
 // The NFR read optimization (§4) applies to EPaxos too (the paper's "*EPaxos"): enabled
 // via Config::nfr.
@@ -23,6 +28,7 @@
 #define SRC_EPAXOS_EPAXOS_H_
 
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -42,6 +48,15 @@ struct Config {
   bool nfr = false;
   smr::IndexMode index_mode = smr::IndexMode::kCompressed;
   std::vector<common::ProcessId> by_proximity;
+  // When > 0, each locally submitted command arms a timer; if the command is still
+  // uncommitted when it fires, the submitter runs explicit-prepare recovery on it.
+  // 0 disables (failure-free deployments).
+  common::Duration commit_timeout = 0;
+  // Recovery scan pacing (armed only while some process is suspected, after a
+  // restart, or while restarted-peer floors are known — failure-free runs never
+  // arm the timer or touch the recovery structures).
+  common::Duration recovery_scan_interval = 500 * common::kMillisecond;
+  common::Duration recovery_retry_interval = 1 * common::kSecond;
 
   uint32_t F() const { return (n - 1) / 2; }
   // Fast quorum including the command leader: F + floor((F+1)/2), the optimized EPaxos
@@ -60,7 +75,11 @@ class EPaxosEngine final : public smr::Engine {
   void OnStart() override;
   void Submit(smr::Command cmd) override;
   void OnMessage(common::ProcessId from, const msg::Message& m) override;
+  void OnTimer(uint64_t token) override;
   void OnSuspect(common::ProcessId p) override;
+  void OnRestore(common::ProcessId p, uint64_t seq_floor) override;
+  smr::RestartHint restart_hint() const override;
+  void ApplyRestartHint(const smr::RestartHint& hint) override;
 
   size_t PendingExecution() const { return executor_.PendingCount(); }
 
@@ -87,6 +106,15 @@ class EPaxosEngine final : public smr::Engine {
     common::Ballot rec_ballot = 0;
     common::Quorum rec_acked;
     std::vector<msg::EpPrepareAck> rec_acks;
+    common::Time next_recovery_at = 0;
+    // Owned by a dead incarnation of a since-restarted process: stays eligible for
+    // the recovery scan even though its owner is no longer suspected.
+    bool orphaned = false;
+    // The payload was learned from prepare acks (phase may still be kNone); lets the
+    // next prepare round carry the command so repliers can report fresh conflicts.
+    bool rec_cmd_known = false;
+    // A commit-outcome watch timer is pending for this dot (see ArmWatch).
+    bool watched = false;
   };
 
   void HandlePreAccept(common::ProcessId from, const msg::EpPreAccept& m);
@@ -102,6 +130,17 @@ class EPaxosEngine final : public smr::Engine {
   void CommitAndBroadcast(const common::Dot& dot, Info& info, bool fast_path);
   void ApplyCommit(const common::Dot& dot, const smr::Command& cmd,
                    const common::DepSet& deps, uint64_t seqno, bool fast_path);
+
+  // True while some process is suspected / restarted state is live: only then do the
+  // recovery structures (decided cache, dep placeholders, scan timer) engage, keeping
+  // the failure-free hot path allocation-free and byte-identical.
+  bool RecoveryActive() const {
+    return restarted_ || !suspected_.empty() || !peer_floors_.empty();
+  }
+  // Returns true while uncommitted commands eligible for recovery remain.
+  bool RecoveryScan();
+  void ArmScanTimer();
+  void StartRecovery(const common::Dot& dot, Info& info);
 
   // Highest sequence number among recorded commands conflicting with cmd.
   uint64_t MaxConflictSeq(const common::DepSet& deps) const;
@@ -126,6 +165,46 @@ class EPaxosEngine final : public smr::Engine {
   // seq numbers of every known command, for the max-conflict-seq computation.
   common::DotMap<uint64_t> seqnos_;
   std::unordered_set<common::ProcessId> suspected_;
+  bool scan_timer_armed_ = false;
+
+  // Restart bookkeeping (mirrors AtlasEngine): a restarted engine re-learns decided
+  // commands through the explicit-prepare path; peer_floors_ keeps restarted peers'
+  // abandoned dots scan-eligible after suspicion clears (per-Info `orphaned`).
+  bool restarted_ = false;
+  uint64_t restart_floor_ = 0;
+  // Highest committed identifier seen per process; commits above the horizon arm
+  // watches on every unknown identifier in the gap (lost-commit catch-up).
+  std::vector<uint64_t> commit_horizon_;
+  bool any_orphaned_ = false;
+  std::unordered_map<common::ProcessId, uint64_t> peer_floors_;
+
+  // Bounded cache of decided (committed) values, answering Prepares for commands whose
+  // Info the execute callback already erased (e.g. a restarted replica re-learning a
+  // dependency the rest of the cluster executed long ago). Insertion order lives in a
+  // ring (not a deque) so steady-state commits stay amortized-allocation-free —
+  // alloc_test pins the replica path.
+  struct Decided {
+    smr::Command cmd;
+    common::DepSet deps;
+    uint64_t seqno = 0;
+  };
+  void RememberDecided(const common::Dot& dot, const smr::Command& cmd,
+                       const common::DepSet& deps, uint64_t seqno);
+  common::DotMap<Decided> decided_;
+  std::vector<common::Dot> decided_ring_;
+  size_t decided_ring_pos_ = 0;
+  size_t decided_cache_limit_ = 1 << 17;
+
+  // Arms a commit-outcome watch for a dot this replica knows about but did not
+  // coordinate: if the commit has not arrived after commit_timeout (lost EpCommit,
+  // partitioned leader), the watcher runs explicit prepare itself. No-op unless
+  // commit timeouts are configured, so failure-free deployments are unaffected.
+  void ArmWatch(const common::Dot& dot, Info& info);
+
+  static constexpr uint64_t kRecoveryScanToken = 1;
+  static constexpr uint64_t kCommitTimeoutToken = 2;  // low bits of per-dot timers
+  // Watch timers pack the full dot: ((proc << 44) | seq) << 2 | kWatchToken.
+  static constexpr uint64_t kWatchToken = 3;
 };
 
 }  // namespace epaxos

@@ -1,0 +1,107 @@
+#include "src/fault/injector.h"
+
+#include "src/codec/codec.h"
+#include "src/msg/message.h"
+
+namespace fault {
+
+namespace {
+
+// SplitMix64 finalizer, used as the digest mixing step.
+uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Injector::Injector(uint64_t seed, uint64_t salt, const FaultProfile& profile)
+    : profile_(profile),
+      rng_(Mix64(seed * 0x9e3779b97f4a7c15ull ^ salt)),
+      digest_(Mix64(seed ^ Mix64(salt))) {}
+
+void Injector::Mix(uint64_t v) { digest_ = Mix64(digest_ ^ v); }
+
+void Injector::OnSend(common::ProcessId from, common::ProcessId to, msg::Message& m,
+                      sim::FaultPlan& plan) {
+  counters_.sends_seen++;
+  if (!armed_ || !profile_.AnyMessageFault()) {
+    return;
+  }
+  // One fold per send regardless of outcome, so the digest pins the full decision
+  // sequence (including "no fault"), not just the faults.
+  Mix((static_cast<uint64_t>(from) << 32) | to);
+  Mix(static_cast<uint64_t>(m.body.index()));
+
+  if (profile_.drop > 0 && rng_.Chance(profile_.drop)) {
+    plan.drop = true;
+    counters_.dropped++;
+    Mix(1);
+    return;  // a lost message cannot also be duplicated or delayed
+  }
+  if (profile_.truncate > 0 && rng_.Chance(profile_.truncate)) {
+    codec::Writer w;
+    msg::Encode(w, m);
+    // Cut strictly inside the buffer: [1, size-1] keeps at least the tag byte and
+    // guarantees the prefix is a strict truncation.
+    if (w.size() >= 2) {
+      size_t cut = static_cast<size_t>(rng_.Range(1, static_cast<int64_t>(w.size()) - 1));
+      codec::Reader r(w.buffer().data(), cut);
+      msg::Message decoded;
+      if (msg::Decode(r, decoded)) {
+        // The prefix happened to parse as a complete message: deliver that instead
+        // (a shorter-but-well-formed corruption).
+        m = std::move(decoded);
+        counters_.truncated++;
+        Mix(2);
+      } else {
+        // Bounds-checked decoder rejected the prefix — the replica would discard the
+        // frame. Model that as a corruption drop.
+        plan.drop = true;
+        plan.corrupted = true;
+        counters_.corrupted++;
+        Mix(3);
+      }
+      Mix(cut);
+      return;
+    }
+  }
+  if (profile_.duplicate > 0 && rng_.Chance(profile_.duplicate)) {
+    plan.duplicates = static_cast<uint32_t>(rng_.Range(1, 2));
+    plan.dup_delay = profile_.dup_delay_max > 0
+                         ? rng_.Range(0, profile_.dup_delay_max)
+                         : 0;
+    counters_.duplicated++;
+    Mix(4);
+    Mix((static_cast<uint64_t>(plan.duplicates) << 32) ^
+        static_cast<uint64_t>(plan.dup_delay));
+  }
+  if (profile_.delay > 0 && rng_.Chance(profile_.delay)) {
+    plan.extra_delay = rng_.Range(profile_.delay_min, profile_.delay_max);
+    counters_.delayed++;
+    Mix(5);
+    Mix(static_cast<uint64_t>(plan.extra_delay));
+  }
+}
+
+common::Duration Injector::OnTimer(common::ProcessId p, common::Duration delay) {
+  if (profile_.timer_skew <= 0 || profile_.timer_skew_frac <= 0) {
+    return delay;
+  }
+  // Clock skew is a node property, not a network one: active even while message
+  // faults are disarmed (heal windows).
+  if (!rng_.Chance(profile_.timer_skew)) {
+    return delay;
+  }
+  common::Duration skewed =
+      delay + static_cast<common::Duration>(static_cast<double>(delay) *
+                                            profile_.timer_skew_frac *
+                                            rng_.NextDouble());
+  counters_.timers_skewed++;
+  Mix(6);
+  Mix((static_cast<uint64_t>(p) << 48) ^ static_cast<uint64_t>(skewed));
+  return skewed;
+}
+
+}  // namespace fault

@@ -1,0 +1,94 @@
+// Deterministic fault injector: the sim::FaultHook implementation behind the
+// scenario packs (tools/fault_campaign.cc).
+//
+// Buggify-style: each inter-process send rolls against a per-scenario probability
+// table (drop, duplicate, delay, truncate) from the injector's OWN seeded generator —
+// never the simulator's, whose draw sequence the determinism pins freeze. Timer
+// registrations can be stretched by a bounded factor (grey-failure clock skew).
+// Every decision is folded into a running schedule digest, so two runs of the same
+// (pack, seed) can be checked for byte-identical fault schedules without recording
+// the schedule itself.
+//
+// Truncation re-encodes the message through src/codec, cuts the buffer at a random
+// point, and feeds the prefix back through msg::Decode — exercising the decoder's
+// bounds checking on every injected corruption. A prefix that still decodes replaces
+// the in-flight message; one that does not (the overwhelmingly common case, since
+// every field read is length-checked) is dropped and attributed to `corrupted` in
+// the simulator's DropStats.
+#ifndef SRC_FAULT_INJECTOR_H_
+#define SRC_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/sim/simulator.h"
+
+namespace fault {
+
+// Per-scenario fault mix. Probabilities are per send (or per timer registration);
+// zero disables the fault class entirely (and skips its rng draw, keeping profiles
+// with fewer fault classes cheap).
+struct FaultProfile {
+  double drop = 0;       // lose the message on the wire
+  double duplicate = 0;  // deliver 1-2 extra copies, outside the FIFO clamp
+  double delay = 0;      // shift delivery by extra_delay in [delay_min, delay_max]
+  double truncate = 0;   // cut the encoded payload at a random byte
+  double timer_skew = 0; // stretch an engine timer by [1, 1 + timer_skew_frac]
+
+  common::Duration delay_min = 0;
+  common::Duration delay_max = 0;
+  common::Duration dup_delay_max = 0;
+  double timer_skew_frac = 0;
+
+  bool AnyMessageFault() const {
+    return drop > 0 || duplicate > 0 || delay > 0 || truncate > 0;
+  }
+};
+
+class Injector final : public sim::FaultHook {
+ public:
+  struct Counters {
+    uint64_t sends_seen = 0;
+    uint64_t dropped = 0;
+    uint64_t duplicated = 0;  // sends that got >= 1 extra copy
+    uint64_t delayed = 0;
+    uint64_t truncated = 0;   // truncations whose prefix still decoded (mutated)
+    uint64_t corrupted = 0;   // truncations rejected by the decoder (dropped)
+    uint64_t timers_skewed = 0;
+  };
+
+  // The generator is seeded from (seed, salt) so distinct scenario packs draw
+  // unrelated streams even under the same campaign seed.
+  Injector(uint64_t seed, uint64_t salt, const FaultProfile& profile);
+
+  // Message-fault window control: while disarmed, sends pass through untouched
+  // (no rng draws) — scheduled heals use this so the drain phase is fault-free.
+  // Timer skew stays active regardless; it models a property of the node's clock,
+  // not of the network.
+  void Arm() { armed_ = true; }
+  void Disarm() { armed_ = false; }
+  bool armed() const { return armed_; }
+
+  void OnSend(common::ProcessId from, common::ProcessId to, msg::Message& m,
+              sim::FaultPlan& plan) override;
+  common::Duration OnTimer(common::ProcessId p, common::Duration delay) override;
+
+  // Order-sensitive fold of every injection decision (and the send/timer it applied
+  // to). Equal digests across two runs mean the fault schedules were identical.
+  uint64_t schedule_digest() const { return digest_; }
+  const Counters& counters() const { return counters_; }
+
+ private:
+  void Mix(uint64_t v);
+
+  FaultProfile profile_;
+  common::Rng rng_;
+  bool armed_ = true;
+  uint64_t digest_;
+  Counters counters_;
+};
+
+}  // namespace fault
+
+#endif  // SRC_FAULT_INJECTOR_H_

@@ -1,0 +1,129 @@
+#include "src/fault/scenario.h"
+
+namespace fault {
+
+namespace {
+
+constexpr common::Duration kMs = common::kMillisecond;
+constexpr common::Duration kS = common::kSecond;
+
+std::vector<Scenario> BuildScenarios() {
+  std::vector<Scenario> packs;
+
+  {
+    // One replica dies mid-load, comes back 3s later with amnesia, and must
+    // rejoin via the protocols' recovery paths without corrupting the history.
+    Scenario s;
+    s.name = "kill_one_replica";
+    s.description = "crash one seed-chosen replica at 2s, restart it at 5s";
+    Scenario::CrashEvent c;
+    c.victim_rank = 0;
+    c.at = 2 * kS;
+    c.detection_timeout = 500 * kMs;
+    c.restart = true;
+    c.down_for = 3 * kS;
+    s.crashes.push_back(c);
+    s.run_for = 12 * kS;
+    packs.push_back(std::move(s));
+  }
+
+  {
+    // A region is cut off (both directions, all peers) while commands are in
+    // flight; after the heal, commit latency must return to normal — the stuck
+    // coordinator's commands are recovered via commit timeouts.
+    Scenario s;
+    s.name = "partition_region_mid_commit";
+    s.description = "isolate one region for 2.5s starting at 2s, then heal";
+    s.partition = true;
+    s.partition_at = 2 * kS;
+    s.partition_for = 2500 * kMs;
+    s.run_for = 14 * kS;
+    s.measure_from = 6 * kS;  // 1.5s of slack after the 4.5s heal
+    s.max_commit_latency_after_heal = 3 * kS;
+    packs.push_back(std::move(s));
+  }
+
+  {
+    // No crashes: pure message-level chaos. Duplicates are posted outside the
+    // FIFO clamp, so they both re-deliver and reorder — the dup-safety guards in
+    // every handler are what this pack exercises.
+    Scenario s;
+    s.name = "dup_and_reorder";
+    s.description = "15% duplicate + 10% delayed delivery for the whole run";
+    s.profile.duplicate = 0.15;
+    s.profile.dup_delay_max = 60 * kMs;
+    s.profile.delay = 0.10;
+    s.profile.delay_min = 5 * kMs;
+    s.profile.delay_max = 120 * kMs;
+    s.run_for = 10 * kS;
+    packs.push_back(std::move(s));
+  }
+
+  {
+    // Two staggered crash/restart cycles on different replicas: the second victim
+    // goes down while the cluster is still absorbing the first restart.
+    Scenario s;
+    s.name = "rolling_restarts";
+    s.description = "crash/restart two different replicas back to back";
+    Scenario::CrashEvent a;
+    a.victim_rank = 0;
+    a.at = 2 * kS;
+    a.detection_timeout = 500 * kMs;
+    a.restart = true;
+    a.down_for = 2500 * kMs;
+    s.crashes.push_back(a);
+    Scenario::CrashEvent b;
+    b.victim_rank = 1;
+    b.at = 6 * kS;
+    b.detection_timeout = 500 * kMs;
+    b.restart = true;
+    b.down_for = 2500 * kMs;
+    s.crashes.push_back(b);
+    s.run_for = 15 * kS;
+    packs.push_back(std::move(s));
+  }
+
+  {
+    // §5.1-style grey failure: no process dies, but one directed link turns slow
+    // and the victim's clock drifts; a light loss rate and payload corruption run
+    // underneath. Faults heal at 6s; the post-heal latency gate must pass.
+    Scenario s;
+    s.name = "grey_failure_slow_link";
+    s.description = "one slow link + timer skew + 2% loss, healing at 6s";
+    s.slow_link = true;
+    s.slow_from = 2 * kS;
+    s.slow_for = 4 * kS;
+    s.slow_extra = 150 * kMs;
+    s.profile.drop = 0.02;
+    s.profile.truncate = 0.01;
+    s.profile.timer_skew = 0.3;
+    s.profile.timer_skew_frac = 0.25;
+    s.fault_from = 2 * kS;
+    s.fault_until = 6 * kS;  // heal: drain must not race a lossy network
+    s.run_for = 14 * kS;
+    s.measure_from = 8 * kS;
+    s.max_commit_latency_after_heal = 3 * kS;
+    packs.push_back(std::move(s));
+  }
+
+  return packs;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& AllScenarios() {
+  static const std::vector<Scenario>* packs =
+      new std::vector<Scenario>(BuildScenarios());
+  return *packs;
+}
+
+const Scenario* FindScenario(const std::string& name) {
+  for (const Scenario& s : AllScenarios()) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace fault

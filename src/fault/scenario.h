@@ -1,0 +1,86 @@
+// Scenario packs: named, self-contained fault campaigns. Each pack declares the
+// fault mix (fault::FaultProfile plus crash/partition/slow-link schedules), the
+// workload that runs under it, and the acceptance gates the run must pass:
+//   - checker-clean history (the §2 SMR specification, via chk::HistoryChecker);
+//   - equal per-shard store digests across all full replicas after drain;
+//   - no stuck client commands (every issued op completes or is accounted for,
+//     and nothing gives up after bounded retries);
+//   - bounded commit latency after the scheduled heal (packs with a heal).
+// Packs are pure data; src/fault/campaign.cc interprets them against a seeded
+// harness::Cluster, so one (pack, seed, protocol, partitions) tuple fully
+// determines a run.
+#ifndef SRC_FAULT_SCENARIO_H_
+#define SRC_FAULT_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/fault/injector.h"
+
+namespace fault {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+
+  // Message-level fault mix, active in [fault_from, fault_until) sim time.
+  // fault_until == 0 keeps the injector armed for the whole run (drain included) —
+  // only safe for mixes that cannot lose messages (dup/delay/skew).
+  FaultProfile profile;
+  common::Time fault_from = 0;
+  common::Time fault_until = 0;
+
+  // Crash/restart schedule. victim_rank is an offset folded with the campaign seed
+  // into a concrete site, so different seeds kill different replicas. A crash with
+  // restart == false leaves the site down for the rest of the run (f must cover it).
+  struct CrashEvent {
+    uint32_t victim_rank = 0;
+    common::Time at = 0;
+    common::Duration detection_timeout = 0;
+    bool restart = false;
+    common::Duration down_for = 0;  // restart at `at + down_for`
+  };
+  std::vector<CrashEvent> crashes;
+
+  // Directed partition: isolates one seed-chosen site from every peer (both
+  // directions) during [partition_at, partition_at + partition_for), then heals.
+  bool partition = false;
+  common::Time partition_at = 0;
+  common::Duration partition_for = 0;
+
+  // Grey failure: one seed-chosen directed link gets slow_extra of added latency
+  // during [slow_from, slow_from + slow_for), then heals.
+  bool slow_link = false;
+  common::Time slow_from = 0;
+  common::Duration slow_for = 0;
+  common::Duration slow_extra = 0;
+
+  // Workload: one closed-loop client per site, each issuing ops_per_client §5.2
+  // microbenchmark commands, with bounded client-side retry.
+  uint64_t ops_per_client = 60;
+  double conflict_rate = 0.3;
+  common::Duration retry_timeout = 800 * common::kMillisecond;
+  uint32_t max_client_retries = 12;
+
+  // Sim time after which clients stop and the run drains.
+  common::Duration run_for = 12 * common::kSecond;
+
+  // Gate: p99 commit latency of ops submitted after every scheduled fault has
+  // healed must stay under this bound (0 disables the gate; packs without a heal
+  // leave it off).
+  common::Duration max_commit_latency_after_heal = 0;
+  // Start of the post-heal measurement window (0 = no window).
+  common::Time measure_from = 0;
+};
+
+// The registry, in stable order (campaign sweeps iterate it).
+const std::vector<Scenario>& AllScenarios();
+
+// nullptr if unknown.
+const Scenario* FindScenario(const std::string& name);
+
+}  // namespace fault
+
+#endif  // SRC_FAULT_SCENARIO_H_

@@ -27,6 +27,11 @@ Cluster::Cluster(ClusterOptions opts)
     site_throughput_.emplace_back(common::kSecond);
   }
   site_alive_.assign(n, true);
+  site_restarted_.assign(n, false);
+  checker_col_.resize(n);
+  for (uint32_t i = 0; i < n; i++) {
+    checker_col_[i] = i;
+  }
   if (opts_.enable_checker) {
     for (uint32_t s = 0; s < opts_.partitions; s++) {
       checkers_.push_back(std::make_unique<chk::HistoryChecker>(n));
@@ -38,9 +43,28 @@ Cluster::Cluster(ClusterOptions opts)
 
 Cluster::~Cluster() = default;
 
+smr::DeploymentOptions Cluster::MakeDeploymentOptions(common::ProcessId site) const {
+  smr::DeploymentOptions d;
+  d.protocol = opts_.protocol;
+  d.n = n();
+  d.f = opts_.f;
+  d.nfr = opts_.nfr;
+  d.prune_slow_path = opts_.prune_slow_path;
+  d.index_mode = opts_.index_mode;
+  d.by_proximity = ByProximity(sim_->latency(), n(), site);
+  d.leader = leader_;
+  d.partitions = opts_.partitions;
+  d.batch_window = opts_.batch_window;
+  d.batch_max = opts_.batch_max;
+  d.commit_timeout = opts_.commit_timeout;
+  d.recovery_scan_interval = opts_.recovery_scan_interval;
+  d.recovery_retry_interval = opts_.recovery_retry_interval;
+  d.revoke_retry_interval = opts_.revoke_retry_interval;
+  return d;
+}
+
 void Cluster::BuildReplicas() {
   uint32_t n = this->n();
-  const sim::LatencyModel& lat = sim_->latency();
 
   // Leader selection needs the latency model and client placement, so it stays a
   // harness concern; the chosen leader is handed to the assembly layer. The quorum
@@ -61,19 +85,8 @@ void Cluster::BuildReplicas() {
   // All replica assembly goes through smr::Deployment — the harness builds no
   // engine (bare or sharded) directly.
   for (uint32_t i = 0; i < n; i++) {
-    smr::DeploymentOptions d;
-    d.protocol = opts_.protocol;
-    d.n = n;
-    d.f = opts_.f;
-    d.nfr = opts_.nfr;
-    d.prune_slow_path = opts_.prune_slow_path;
-    d.index_mode = opts_.index_mode;
-    d.by_proximity = ByProximity(lat, n, i);
-    d.leader = leader_;
-    d.partitions = opts_.partitions;
-    d.batch_window = opts_.batch_window;
-    d.batch_max = opts_.batch_max;
-    replicas_.push_back(std::make_unique<smr::Deployment>(std::move(d)));
+    replicas_.push_back(
+        std::make_unique<smr::Deployment>(MakeDeploymentOptions(i)));
   }
 
   for (auto& r : replicas_) {
@@ -124,8 +137,9 @@ void Cluster::IssueNext(uint64_t client_index) {
   c.submit_time = sim_->Now();
   pending_[chk::CmdKey{c.current.client, c.current.seq}] = client_index;
   if (!checkers_.empty()) {
-    checkers_[ShardOfCmd(c.current)]->OnSubmit(c.current, c.submit_time,
-                                               static_cast<common::ProcessId>(c.site));
+    checkers_[ShardOfCmd(c.current)]->OnSubmit(
+        c.current, c.submit_time,
+        static_cast<common::ProcessId>(checker_col_[c.site]));
   }
   common::Duration oneway =
       ClientOneWay(c.region, opts_.site_regions[c.site]);
@@ -147,10 +161,20 @@ void Cluster::IssueNext(uint64_t client_index) {
       if (!cl.in_flight || cl.current.seq != seq) {
         return;  // already completed or superseded
       }
-      // Abandon the stuck operation (its command may have died with a crashed
-      // leader/coordinator) and resubmit under a fresh sequence number.
       pending_.erase(chk::CmdKey{cl.current.client, cl.current.seq});
       cl.in_flight = false;
+      if (opts_.max_client_retries > 0 &&
+          ++cl.attempts >= opts_.max_client_retries) {
+        // Bounded retry exhausted: the operation is stuck (not merely delayed).
+        // Give it up — Finish() reports any gave-up op as a liveness failure —
+        // and let the client move on to its next operation.
+        gave_up_++;
+        cl.attempts = 0;
+        IssueNext(client_index);
+        return;
+      }
+      // Abandon the stuck operation (its command may have died with a crashed
+      // leader/coordinator) and resubmit under a fresh sequence number.
       cl.issued--;
       IssueNext(client_index);
     });
@@ -194,7 +218,8 @@ void Cluster::OnExecuted(common::ProcessId p, const common::Dot& dot,
 void Cluster::AccountExecuted(common::ProcessId p, const common::Dot& dot,
                               uint32_t shard, const smr::Command& cmd) {
   if (!checkers_.empty()) {
-    checkers_[shard]->OnExecute(p, cmd, sim_->Now());
+    checkers_[shard]->OnExecute(static_cast<common::ProcessId>(checker_col_[p]), cmd,
+                                sim_->Now());
     exec_trace_.push_back(ExecRecord{p, dot, cmd});
   }
   if (cmd.is_noop()) {
@@ -224,6 +249,7 @@ void Cluster::CompleteClient(uint64_t client_index, common::Time completion_time
     return;
   }
   c.in_flight = false;
+  c.attempts = 0;
   total_completed_++;
   site_throughput_[c.site].Record(completion_time);
   common::Time now = completion_time;
@@ -287,6 +313,43 @@ void Cluster::ScheduleCrash(common::ProcessId site, common::Time at,
     }
     MigrateClients(site);
   });
+}
+
+void Cluster::ScheduleRestart(common::ProcessId site, common::Time at) {
+  CHECK_LT(site, n());
+  sim_->Post(at, [this, site]() { RestartSite(site); });
+}
+
+void Cluster::RestartSite(common::ProcessId site) {
+  CHECK(sim_->IsCrashed(site));
+  // Crash-stop with amnesia: the only state that survives is the per-shard
+  // stable-storage floors (smr::RestartHint). Everything else — protocol state,
+  // stores, conflict indexes — is rebuilt empty and re-learned via recovery.
+  std::vector<smr::RestartHint> hints = replicas_[site]->RestartHints();
+  auto fresh = std::make_unique<smr::Deployment>(MakeDeploymentOptions(site));
+  // Binds + starts the new engine under a new incarnation; in-flight messages and
+  // timers addressed to the dead incarnation are dropped on delivery.
+  sim_->Restart(site, &fresh->engine());
+  replicas_[site] = std::move(fresh);
+  replicas_[site]->ApplyRestartHints(hints);
+  site_alive_[site] = true;
+  site_restarted_[site] = true;
+  // The new incarnation records history as a fresh process: the amnesia model lets
+  // it re-execute commands the dead incarnation already executed.
+  if (!checkers_.empty()) {
+    uint32_t col = 0;
+    for (auto& checker : checkers_) {
+      col = checker->AddRestartColumn();
+    }
+    checker_col_[site] = col;
+  }
+  // Surviving replicas clear suspicion of `site` and adopt recovery of the dead
+  // incarnation's abandoned commands (below the seq floors).
+  for (uint32_t p = 0; p < n(); p++) {
+    if (p != site && !sim_->IsCrashed(p)) {
+      replicas_[p]->NotifyRestore(site, hints);
+    }
+  }
 }
 
 void Cluster::MigrateClients(common::ProcessId dead_site) {
@@ -412,7 +475,9 @@ chk::CheckResult Cluster::Finish(bool abort_on_error) {
   chk::CheckResult result;
   if (!checkers_.empty()) {
     for (uint32_t p = 0; p < n(); p++) {
-      if (sim_->IsCrashed(p)) {
+      if (sim_->IsCrashed(p) || site_restarted_[p]) {
+        // Restarted sites rebuilt their stores mid-history and re-execute only what
+        // recovery resurfaces; their digests are not comparable to full replicas.
         continue;
       }
       if (opts_.partitions == 1) {
@@ -437,6 +502,11 @@ chk::CheckResult Cluster::Finish(bool abort_on_error) {
           result.Fail(std::move(e));
         }
       }
+    }
+    if (gave_up_ > 0) {
+      result.Fail("Liveness: " + std::to_string(gave_up_) +
+                  " client operation(s) gave up after " +
+                  std::to_string(opts_.max_client_retries) + " retries");
     }
     if (!result.ok && abort_on_error) {
       std::fprintf(stderr, "%s\n", result.Describe().c_str());

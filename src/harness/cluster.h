@@ -54,6 +54,19 @@ struct ClusterOptions {
   // Record histories and verify the SMR specification at Finish().
   bool enable_checker = false;
 
+  // Recovery knobs forwarded to every site's deployment (see DeploymentOptions);
+  // all 0 keeps the failure-free defaults.
+  common::Duration commit_timeout = 0;
+  common::Duration recovery_scan_interval = 0;
+  common::Duration recovery_retry_interval = 0;
+  common::Duration revoke_retry_interval = 0;
+
+  // Bounds client-side resubmission (ClientSpec::retry_timeout): after this many
+  // retries of one operation the client gives up on it and moves on, bumping
+  // gave_up() — which Finish() reports as a liveness failure when the checker is
+  // enabled. 0 keeps the legacy unbounded behaviour.
+  uint32_t max_client_retries = 0;
+
   // Partitioned replicas: each site runs `partitions` independent engines behind a
   // smr::ShardedEngine, with per-(site, partition) stores and per-partition checkers.
   // partitions == 1 builds exactly the classic single-engine deployment (seeded runs
@@ -124,6 +137,13 @@ class Cluster {
   void ScheduleCrash(common::ProcessId site, common::Time at,
                      common::Duration detection_timeout);
 
+  // Restarts a previously crashed site at `at`: tears down its deployment, builds a
+  // fresh one (crash-stop with amnesia), seeds the dead incarnation's stable-storage
+  // floors, gives the new incarnation its own checker column, and notifies the
+  // surviving replicas (OnRestore) so they clear suspicion and take over recovery of
+  // the dead incarnation's abandoned commands.
+  void ScheduleRestart(common::ProcessId site, common::Time at);
+
   // Stops clients from issuing new commands (lets the system drain).
   void StopClients();
 
@@ -157,6 +177,22 @@ class Cluster {
   uint32_t partitions() const { return opts_.partitions; }
   common::ProcessId leader() const { return leader_; }
   uint64_t total_completed() const { return total_completed_; }
+  // Operations abandoned after max_client_retries unsuccessful resubmissions.
+  uint64_t gave_up() const { return gave_up_; }
+  // Whether the site has been through a crash/restart cycle (its store digests are
+  // not comparable to full replicas; see Finish).
+  bool Restarted(common::ProcessId site) const { return site_restarted_[site]; }
+  // Clients still waiting on an operation. Nonzero after Finish() means an op is
+  // wedged: neither completed, resubmitted, nor given up.
+  uint64_t InFlightClients() const {
+    uint64_t stuck = 0;
+    for (const auto& c : clients_) {
+      if (c.in_flight) {
+        stuck++;
+      }
+    }
+    return stuck;
+  }
 
  private:
   struct Client {
@@ -169,6 +205,7 @@ class Cluster {
     uint64_t max_ops = ~uint64_t{0};
     common::Duration think_time = 0;
     common::Duration retry_timeout = 0;
+    uint64_t attempts = 0;  // retry-timeout resubmissions of the current op
     bool in_flight = false;
     bool stopped = false;
     common::Time submit_time = 0;     // measured from client submit
@@ -178,6 +215,8 @@ class Cluster {
   };
 
   void BuildReplicas();
+  smr::DeploymentOptions MakeDeploymentOptions(common::ProcessId site) const;
+  void RestartSite(common::ProcessId site);
   void IssueNext(uint64_t client_index);
   void OnExecuted(common::ProcessId p, const common::Dot& dot, const smr::Command& cmd);
   // Accounts one applied (non-composite) command at site p: checker history,
@@ -222,7 +261,12 @@ class Cluster {
   std::vector<ExecRecord> exec_trace_;
   std::vector<common::TimeSeries> site_throughput_;
   std::vector<bool> site_alive_;
+  // Checker process column per site: identity until a site restarts, after which the
+  // new incarnation writes history under a fresh column (see AddRestartColumn).
+  std::vector<uint32_t> checker_col_;
+  std::vector<bool> site_restarted_;
   uint64_t total_completed_ = 0;
+  uint64_t gave_up_ = 0;
   bool started_ = false;
 };
 

@@ -35,6 +35,11 @@ enum class Tag : uint8_t {
   kMnSkipRange = 24,
   kClientRequest = 25,
   kClientReply = 26,
+  kMnRevoke = 27,
+  kMnRevokePromise = 28,
+  kMnRevokeAccept = 29,
+  kMnRevokeAccepted = 30,
+  kMnRevokeSkip = 31,
 };
 
 template <class W>
@@ -227,11 +232,19 @@ template <class W>
 void Put(W& w, const EpPrepare& m) {
   w.Dot(m.dot);
   w.Varint(m.ballot);
+  w.Bool(m.has_cmd);
+  if (m.has_cmd) {
+    m.cmd.EncodeTo(w);
+  }
 }
 EpPrepare GetEpPrepare(codec::Reader& r) {
   EpPrepare m;
   m.dot = r.Dot();
   m.ballot = r.Varint();
+  m.has_cmd = r.Bool();
+  if (m.has_cmd) {
+    m.cmd = smr::Command::Decode(r);
+  }
   return m;
 }
 
@@ -245,6 +258,8 @@ void Put(W& w, const EpPrepareAck& m) {
   w.Varint(m.accepted_ballot);
   w.Varint(m.ballot);
   w.Bool(m.was_initial_coordinator_reply);
+  w.Deps(m.fresh_deps);
+  w.Varint(m.fresh_seqno);
 }
 EpPrepareAck GetEpPrepareAck(codec::Reader& r) {
   EpPrepareAck m;
@@ -256,6 +271,8 @@ EpPrepareAck GetEpPrepareAck(codec::Reader& r) {
   m.accepted_ballot = r.Varint();
   m.ballot = r.Varint();
   m.was_initial_coordinator_reply = r.Bool();
+  m.fresh_deps = r.Deps();
+  m.fresh_seqno = r.Varint();
   return m;
 }
 
@@ -410,6 +427,72 @@ MnSkipRange GetMnSkipRange(codec::Reader& r) {
 }
 
 template <class W>
+void Put(W& w, const MnRevoke& m) {
+  w.Varint(m.slot);
+  w.Varint(m.ballot);
+}
+MnRevoke GetMnRevoke(codec::Reader& r) {
+  MnRevoke m;
+  m.slot = r.Varint();
+  m.ballot = r.Varint();
+  return m;
+}
+
+template <class W>
+void Put(W& w, const MnRevokePromise& m) {
+  w.Varint(m.slot);
+  w.Varint(m.ballot);
+  w.Varint(m.vbal);
+  w.U8(m.vkind);
+  m.cmd.EncodeTo(w);
+}
+MnRevokePromise GetMnRevokePromise(codec::Reader& r) {
+  MnRevokePromise m;
+  m.slot = r.Varint();
+  m.ballot = r.Varint();
+  m.vbal = r.Varint();
+  m.vkind = r.U8();
+  m.cmd = smr::Command::Decode(r);
+  return m;
+}
+
+template <class W>
+void Put(W& w, const MnRevokeAccept& m) {
+  w.Varint(m.slot);
+  w.Varint(m.ballot);
+  w.U8(m.choice);
+  m.cmd.EncodeTo(w);
+}
+MnRevokeAccept GetMnRevokeAccept(codec::Reader& r) {
+  MnRevokeAccept m;
+  m.slot = r.Varint();
+  m.ballot = r.Varint();
+  m.choice = r.U8();
+  m.cmd = smr::Command::Decode(r);
+  return m;
+}
+
+template <class W>
+void Put(W& w, const MnRevokeAccepted& m) {
+  w.Varint(m.slot);
+  w.Varint(m.ballot);
+}
+MnRevokeAccepted GetMnRevokeAccepted(codec::Reader& r) {
+  MnRevokeAccepted m;
+  m.slot = r.Varint();
+  m.ballot = r.Varint();
+  return m;
+}
+
+template <class W>
+void Put(W& w, const MnRevokeSkip& m) { w.Varint(m.slot); }
+MnRevokeSkip GetMnRevokeSkip(codec::Reader& r) {
+  MnRevokeSkip m;
+  m.slot = r.Varint();
+  return m;
+}
+
+template <class W>
 void Put(W& w, const ClientRequest& m) { m.cmd.EncodeTo(w); }
 ClientRequest GetClientRequest(codec::Reader& r) {
   ClientRequest m;
@@ -442,7 +525,8 @@ const char* TypeName(const Message& m) {
       "EpAcceptAck", "EpCommit",      "EpPrepare",  "EpPrepareAck",  "PxForward",
       "PxAccept",    "PxAccepted",    "PxCommit",   "PxPrepare",     "PxPromise",
       "PxHeartbeat", "MnPropose",     "MnAck",      "MnCommit",      "MnSkipRange",
-      "ClientRequest", "ClientReply"};
+      "ClientRequest", "ClientReply",  "MnRevoke",   "MnRevokePromise",
+      "MnRevokeAccept", "MnRevokeAccepted", "MnRevokeSkip"};
   return kNames[m.index()];
 }
 
@@ -540,6 +624,21 @@ bool Decode(codec::Reader& r, Message& out) {
       break;
     case Tag::kClientReply:
       out = GetClientReply(r);
+      break;
+    case Tag::kMnRevoke:
+      out = GetMnRevoke(r);
+      break;
+    case Tag::kMnRevokePromise:
+      out = GetMnRevokePromise(r);
+      break;
+    case Tag::kMnRevokeAccept:
+      out = GetMnRevokeAccept(r);
+      break;
+    case Tag::kMnRevokeAccepted:
+      out = GetMnRevokeAccepted(r);
+      break;
+    case Tag::kMnRevokeSkip:
+      out = GetMnRevokeSkip(r);
       break;
     default:
       return false;

@@ -118,6 +118,12 @@ struct EpCommit {
 struct EpPrepare {
   Dot dot;
   Ballot ballot = 0;
+  // The payload, when the recoverer knows it. Carrying it lets every replier report
+  // its *current* conflicts against the command (EpPrepareAck::fresh_deps), which is
+  // what makes a recovery-chosen value intersect the quorum of every conflicting
+  // commit — the recoverer's local index alone cannot guarantee that.
+  smr::Command cmd;
+  bool has_cmd = false;
 };
 
 struct EpPrepareAck {
@@ -129,6 +135,8 @@ struct EpPrepareAck {
   Ballot accepted_ballot = 0;
   Ballot ballot = 0;
   bool was_initial_coordinator_reply = false;  // preaccepted at the command leader
+  DepSet fresh_deps;         // replier's current conflicts of the prepare's payload
+  uint64_t fresh_seqno = 0;  // 1 + the max conflict seqno behind fresh_deps
 };
 
 // ---------------------------------------------------------------------------
@@ -202,6 +210,39 @@ struct MnSkipRange {  // owner skipped its own slots in [from, to)
   uint64_t to = 0;
 };
 
+// Mencius revocation (classic Paxos per slot, used when the slot's owner is
+// suspected). The owner's MnPropose doubles as an accept at ballot 0; a revoker runs
+// Prepare/Promise/Accept/Accepted with a higher ballot to decide either the owner's
+// command (if any acceptor saw it) or a skip.
+struct MnRevoke {  // phase 1a for one revoked slot
+  uint64_t slot = 0;
+  Ballot ballot = 0;
+};
+
+struct MnRevokePromise {  // phase 1b
+  uint64_t slot = 0;
+  Ballot ballot = 0;
+  Ballot vbal = 0;    // highest ballot at which this process accepted a value
+  uint8_t vkind = 0;  // 0 = nothing accepted, 1 = cmd below, 2 = skip
+  smr::Command cmd;
+};
+
+struct MnRevokeAccept {  // phase 2a
+  uint64_t slot = 0;
+  Ballot ballot = 0;
+  uint8_t choice = 0;  // 1 = cmd below, 2 = skip
+  smr::Command cmd;
+};
+
+struct MnRevokeAccepted {  // phase 2b
+  uint64_t slot = 0;
+  Ballot ballot = 0;
+};
+
+struct MnRevokeSkip {  // learn notification: the slot was decided as a skip
+  uint64_t slot = 0;
+};
+
 // ---------------------------------------------------------------------------
 // Client RPCs (real runtime)
 // ---------------------------------------------------------------------------
@@ -227,7 +268,8 @@ struct Message {
       MCollect, MCollectAck, MConsensus, MConsensusAck, MCommit, MRec, MRecAck,
       EpPreAccept, EpPreAcceptAck, EpAccept, EpAcceptAck, EpCommit, EpPrepare,
       EpPrepareAck, PxForward, PxAccept, PxAccepted, PxCommit, PxPrepare, PxPromise,
-      PxHeartbeat, MnPropose, MnAck, MnCommit, MnSkipRange, ClientRequest, ClientReply>;
+      PxHeartbeat, MnPropose, MnAck, MnCommit, MnSkipRange, ClientRequest, ClientReply,
+      MnRevoke, MnRevokePromise, MnRevokeAccept, MnRevokeAccepted, MnRevokeSkip>;
 
   Body body;
   uint32_t shard = 0;  // destination partition on sharded replicas; 0 otherwise

@@ -55,6 +55,7 @@ void Simulator::AddEngine(smr::Engine* engine) {
   engines_.push_back(engine);
   contexts_.push_back(std::make_unique<SimContext>(this, id));
   crashed_.push_back(false);
+  incarnation_.push_back(0);
   egress_free_.push_back(0);
 }
 
@@ -63,6 +64,7 @@ void Simulator::Start() {
   started_ = true;
   uint32_t n = this->n();
   last_arrival_.assign(static_cast<size_t>(n) * n, 0);
+  drops_per_link_.assign(static_cast<size_t>(n) * n, 0);
   EnsureLinkState();
   for (uint32_t i = 0; i < n; i++) {
     engines_[i]->Bind(static_cast<common::ProcessId>(i), n, contexts_[i].get());
@@ -106,7 +108,7 @@ void Simulator::PostIn(common::Duration delay, std::function<void()> fn) {
 
 void Simulator::PostSubmitIn(common::Duration delay, common::ProcessId p,
                              smr::Command cmd) {
-  PostEvent(now_ + delay, ClientOpEvent{p, std::move(cmd)});
+  PostEvent(now_ + delay, ClientOpEvent{p, std::move(cmd), incarnation_[p]});
 }
 
 void Simulator::SendMessage(common::ProcessId from, common::ProcessId to,
@@ -114,7 +116,15 @@ void Simulator::SendMessage(common::ProcessId from, common::ProcessId to,
   CHECK_NE(from, to);  // self-sends are handled inline by the engine base class
   if (crashed_[from]) {
     messages_dropped_++;
+    drop_stats_.src_crashed++;
+    if (!drops_per_link_.empty()) {
+      drops_per_link_[LinkIndex(from, to)]++;
+    }
     return;
+  }
+  FaultPlan plan;
+  if (fault_hook_ != nullptr) {
+    fault_hook_->OnSend(from, to, m, plan);
   }
   size_t bytes = msg::EncodedSize(m);
   bytes_sent_ += bytes;
@@ -130,29 +140,61 @@ void Simulator::SendMessage(common::ProcessId from, common::ProcessId to,
   common::Time tx_done = tx_start + tx_cost;
   egress_free_[from] = tx_done;
 
-  common::Time arrival = tx_done + latency_->Propagation(from, to, rng_);
+  common::Time base = tx_done + latency_->Propagation(from, to, rng_);
   if (any_link_extra_) {
-    arrival += link_extra_delay_[LinkIndex(from, to)];
+    base += link_extra_delay_[LinkIndex(from, to)];
   }
+  if (plan.drop) {
+    // The message occupied the NIC and its propagation draw, then was lost on the
+    // wire (or arrived undecodable). It never constrains FIFO ordering.
+    messages_dropped_++;
+    if (plan.corrupted) {
+      drop_stats_.corrupted++;
+    } else {
+      drop_stats_.injected++;
+    }
+    drops_per_link_[LinkIndex(from, to)]++;
+    return;
+  }
+  common::Time arrival = base + plan.extra_delay;
   if (opts_.fifo_links) {
     size_t link = LinkIndex(from, to);
     arrival = std::max(arrival, last_arrival_[link]);
     last_arrival_[link] = arrival;
   }
-  PostEvent(arrival, DeliverEvent{from, to, std::move(m)});
+  // Duplicates bypass the FIFO clamp and do not advance it: a duplicate landing
+  // before (or long after) the original models reordering retransmission paths.
+  for (uint32_t i = 0; i < plan.duplicates; i++) {
+    PostEvent(std::max(now_, base + plan.dup_delay),
+              DeliverEvent{from, to, m, incarnation_[to]});
+  }
+  PostEvent(arrival, DeliverEvent{from, to, std::move(m), incarnation_[to]});
 }
 
 void Simulator::SetEngineTimer(common::ProcessId p, common::Duration delay,
                                uint64_t token) {
-  PostEvent(now_ + delay, TimerEvent{p, token});
+  if (fault_hook_ != nullptr) {
+    delay = fault_hook_->OnTimer(p, delay);
+  }
+  PostEvent(now_ + delay, TimerEvent{p, token, incarnation_[p]});
 }
 
 void Simulator::Dispatch(Payload& payload) {
   switch (payload.index()) {
     case 0: {  // DeliverEvent
       auto& d = std::get<DeliverEvent>(payload);
-      if (crashed_[d.to] || IsLinkDown(d.from, d.to)) {
+      if (crashed_[d.to] || d.inc != incarnation_[d.to] || IsLinkDown(d.from, d.to)) {
         messages_dropped_++;
+        if (crashed_[d.to]) {
+          drop_stats_.dest_crashed++;
+        } else if (d.inc != incarnation_[d.to]) {
+          drop_stats_.stale_incarnation++;
+        } else {
+          drop_stats_.link_down++;
+        }
+        if (!drops_per_link_.empty()) {
+          drops_per_link_[LinkIndex(d.from, d.to)]++;
+        }
         return;
       }
       messages_delivered_++;
@@ -161,14 +203,14 @@ void Simulator::Dispatch(Payload& payload) {
     }
     case 1: {  // TimerEvent
       auto& t = std::get<TimerEvent>(payload);
-      if (!crashed_[t.p]) {
+      if (!crashed_[t.p] && t.inc == incarnation_[t.p]) {
         engines_[t.p]->OnTimer(t.token);
       }
       return;
     }
     case 2: {  // ClientOpEvent
       auto& c = std::get<ClientOpEvent>(payload);
-      if (!crashed_[c.p]) {
+      if (!crashed_[c.p] && c.inc == incarnation_[c.p]) {
         engines_[c.p]->Submit(std::move(c.cmd));
       }
       return;
@@ -213,6 +255,26 @@ void Simulator::RunUntilIdle(uint64_t max_events) {
 void Simulator::Crash(common::ProcessId p) {
   CHECK_LT(p, crashed_.size());
   crashed_[p] = true;
+}
+
+void Simulator::Restart(common::ProcessId p, smr::Engine* engine) {
+  CHECK(started_);
+  CHECK_LT(p, crashed_.size());
+  CHECK(crashed_[p]);  // only crashed processes restart
+  crashed_[p] = false;
+  incarnation_[p]++;
+  engines_[p] = engine;
+  egress_free_[p] = now_;
+  // Fresh TCP connections in both directions: the FIFO clamp restarts from now so
+  // the new incarnation's traffic is not held behind pre-crash arrivals.
+  for (uint32_t q = 0; q < n(); q++) {
+    if (q != p) {
+      last_arrival_[LinkIndex(p, q)] = now_;
+      last_arrival_[LinkIndex(q, p)] = now_;
+    }
+  }
+  engine->Bind(p, n(), contexts_[p].get());
+  engine->OnStart();
 }
 
 void Simulator::SetLinkDown(common::ProcessId from, common::ProcessId to, bool down) {

@@ -33,6 +33,35 @@
 
 namespace sim {
 
+// Per-send fault decision filled by a FaultHook. The simulator applies it after the
+// sender-crash check: `drop` loses the message on the wire (after it consumed egress
+// and its propagation draw), `duplicates` posts extra copies at arrival + dup_delay
+// outside the FIFO clamp (so duplicates also reorder), and `extra_delay` shifts the
+// original delivery.
+struct FaultPlan {
+  bool drop = false;
+  // When dropping, attribute the drop to payload corruption instead of plain loss.
+  bool corrupted = false;
+  uint32_t duplicates = 0;
+  common::Duration dup_delay = 0;
+  common::Duration extra_delay = 0;
+};
+
+// Deterministic fault-injection seam. The hook sees every inter-process send (it may
+// mutate the message in place, e.g. truncate-and-reencode) and every engine timer
+// registration. Implementations must be deterministic functions of their own seeded
+// state: the simulator calls them in event order and never re-orders calls.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  virtual void OnSend(common::ProcessId from, common::ProcessId to, msg::Message& m,
+                      FaultPlan& plan) = 0;
+  // Returns the (possibly skewed) delay for an engine timer at process p.
+  virtual common::Duration OnTimer(common::ProcessId p, common::Duration delay) {
+    return delay;
+  }
+};
+
 class Simulator {
  public:
   struct Options {
@@ -92,6 +121,16 @@ class Simulator {
   // Failure injection.
   void Crash(common::ProcessId p);
   bool IsCrashed(common::ProcessId p) const { return crashed_[p]; }
+  // Brings a crashed process back with a fresh engine (the old engine is forgotten,
+  // modeling a crash-stop node that lost its volatile state). The new engine is
+  // Bound and OnStart()ed immediately; events addressed to the previous incarnation
+  // (in-flight messages, stale timers, queued client ops) are dropped at dispatch.
+  void Restart(common::ProcessId p, smr::Engine* engine);
+  // Incarnation counter for p: bumped by every Restart. Exposed for harness logic.
+  uint32_t Incarnation(common::ProcessId p) const { return incarnation_[p]; }
+  // Installs a fault hook observing every send and timer registration (nullptr to
+  // remove). Borrowed, not owned; must outlive the simulation.
+  void SetFaultHook(FaultHook* hook) { fault_hook_ = hook; }
   // Marks the directed link from->to down (messages silently dropped at delivery).
   void SetLinkDown(common::ProcessId from, common::ProcessId to, bool down);
   bool IsLinkDown(common::ProcessId from, common::ProcessId to) const {
@@ -105,8 +144,23 @@ class Simulator {
   // Submits cmd at process p right now (convenience for tests).
   void Submit(common::ProcessId p, smr::Command cmd);
 
+  // Per-reason drop attribution; the sum over all reasons equals messages_dropped().
+  struct DropStats {
+    uint64_t src_crashed = 0;        // sender was crashed at send time
+    uint64_t dest_crashed = 0;       // destination crashed before delivery
+    uint64_t link_down = 0;          // SetLinkDown partition at delivery time
+    uint64_t stale_incarnation = 0;  // destination restarted while in flight
+    uint64_t injected = 0;           // FaultHook loss
+    uint64_t corrupted = 0;          // FaultHook corruption made the payload undecodable
+  };
+
   uint64_t messages_delivered() const { return messages_delivered_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
+  // Drops attributed to the directed link from->to (all reasons combined).
+  uint64_t messages_dropped(common::ProcessId from, common::ProcessId to) const {
+    return drops_per_link_.empty() ? 0 : drops_per_link_[LinkIndex(from, to)];
+  }
+  const DropStats& drop_stats() const { return drop_stats_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t events_run() const { return events_run_; }
 
@@ -125,18 +179,23 @@ class Simulator {
 
   // Typed event payloads: the hot paths (message delivery, engine timers, client
   // submissions) carry their data by value instead of a heap-allocated closure.
+  // Each carries the destination's incarnation at post time: events addressed to a
+  // process that has since restarted are dropped at dispatch.
   struct DeliverEvent {
     common::ProcessId from;
     common::ProcessId to;
     msg::Message m;
+    uint32_t inc;
   };
   struct TimerEvent {
     common::ProcessId p;
     uint64_t token;
+    uint32_t inc;
   };
   struct ClientOpEvent {
     common::ProcessId p;
     smr::Command cmd;
+    uint32_t inc;
   };
   struct ClosureEvent {
     std::function<void()> fn;
@@ -170,6 +229,8 @@ class Simulator {
   std::vector<smr::Engine*> engines_;
   std::vector<std::unique_ptr<SimContext>> contexts_;
   std::vector<bool> crashed_;
+  std::vector<uint32_t> incarnation_;
+  FaultHook* fault_hook_ = nullptr;
 
   // Flat n*n link state; any_* flags skip the loads entirely while no link is
   // degraded (the overwhelmingly common case).
@@ -201,6 +262,8 @@ class Simulator {
   uint64_t messages_dropped_ = 0;
   uint64_t bytes_sent_ = 0;
   uint64_t events_run_ = 0;
+  DropStats drop_stats_;
+  std::vector<uint64_t> drops_per_link_;  // n*n flattened, sized in Start()
 };
 
 }  // namespace sim

@@ -40,6 +40,13 @@ std::unique_ptr<Engine> MakeProtocolEngine(const DeploymentOptions& o) {
       cfg.prune_slow_path = o.prune_slow_path;
       cfg.index_mode = o.index_mode;
       cfg.by_proximity = o.by_proximity;
+      cfg.commit_timeout = o.commit_timeout;
+      if (o.recovery_scan_interval > 0) {
+        cfg.recovery_scan_interval = o.recovery_scan_interval;
+      }
+      if (o.recovery_retry_interval > 0) {
+        cfg.recovery_retry_interval = o.recovery_retry_interval;
+      }
       return std::make_unique<atlas::AtlasEngine>(cfg);
     }
     case Protocol::kEPaxos: {
@@ -48,6 +55,13 @@ std::unique_ptr<Engine> MakeProtocolEngine(const DeploymentOptions& o) {
       cfg.nfr = o.nfr;
       cfg.index_mode = o.index_mode;
       cfg.by_proximity = o.by_proximity;
+      cfg.commit_timeout = o.commit_timeout;
+      if (o.recovery_scan_interval > 0) {
+        cfg.recovery_scan_interval = o.recovery_scan_interval;
+      }
+      if (o.recovery_retry_interval > 0) {
+        cfg.recovery_retry_interval = o.recovery_retry_interval;
+      }
       return std::make_unique<epaxos::EPaxosEngine>(cfg);
     }
     case Protocol::kFPaxos:
@@ -64,6 +78,10 @@ std::unique_ptr<Engine> MakeProtocolEngine(const DeploymentOptions& o) {
     case Protocol::kMencius: {
       mencius::Config cfg;
       cfg.n = o.n;
+      cfg.commit_timeout = o.commit_timeout;
+      if (o.revoke_retry_interval > 0) {
+        cfg.revoke_retry_interval = o.revoke_retry_interval;
+      }
       return std::make_unique<mencius::MenciusEngine>(cfg);
     }
   }
@@ -120,6 +138,30 @@ const Engine& Deployment::shard_engine(uint32_t shard) const {
 void Deployment::FlushAll() {
   if (sharded_ != nullptr) {
     sharded_->FlushAll();
+  }
+}
+
+std::vector<RestartHint> Deployment::RestartHints() const {
+  std::vector<RestartHint> hints;
+  hints.reserve(opts_.partitions);
+  for (uint32_t s = 0; s < opts_.partitions; s++) {
+    hints.push_back(shard_engine(s).restart_hint());
+  }
+  return hints;
+}
+
+void Deployment::ApplyRestartHints(const std::vector<RestartHint>& hints) {
+  CHECK_EQ(hints.size(), static_cast<size_t>(opts_.partitions));
+  for (uint32_t s = 0; s < opts_.partitions; s++) {
+    shard_engine(s).ApplyRestartHint(hints[s]);
+  }
+}
+
+void Deployment::NotifyRestore(common::ProcessId p,
+                               const std::vector<RestartHint>& hints) {
+  CHECK_EQ(hints.size(), static_cast<size_t>(opts_.partitions));
+  for (uint32_t s = 0; s < opts_.partitions; s++) {
+    shard_engine(s).OnRestore(p, hints[s].seq_floor);
   }
 }
 

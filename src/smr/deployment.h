@@ -67,6 +67,14 @@ struct DeploymentOptions {
   // with a latency model pick the fairest site and pass it in).
   common::ProcessId leader = common::kInvalidProcess;
 
+  // Recovery / fault-tolerance knobs forwarded to the protocol engines that support
+  // them (Atlas, EPaxos, Mencius). 0 keeps each engine's own default — for
+  // commit_timeout that means disabled, matching failure-free deployments.
+  common::Duration commit_timeout = 0;
+  common::Duration recovery_scan_interval = 0;
+  common::Duration recovery_retry_interval = 0;
+  common::Duration revoke_retry_interval = 0;  // Mencius revocation pacing
+
   // Partitioned replica: `partitions` independent engines behind a ShardedEngine,
   // with per-(node, partition) stores. 1 builds the classic bare-engine replica.
   uint32_t partitions = 1;
@@ -116,6 +124,14 @@ class Deployment {
 
   // Flushes pending submission batches (tests / drain); no-op on bare replicas.
   void FlushAll();
+
+  // Restart plumbing (crash/recovery drivers). RestartHints reads the per-shard
+  // stable-storage floors off a dying replica; ApplyRestartHints seeds them into the
+  // freshly built replacement (after Bind + OnStart); NotifyRestore tells a live
+  // replica that peer `p` restarted with the given per-shard floors.
+  std::vector<RestartHint> RestartHints() const;
+  void ApplyRestartHints(const std::vector<RestartHint>& hints);
+  void NotifyRestore(common::ProcessId p, const std::vector<RestartHint>& hints);
 
   // Applies one executed engine-level command — unpacking kBatch composites in
   // encoded order — to the right per-shard store, bumping applied counts, then

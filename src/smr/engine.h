@@ -70,6 +70,16 @@ class Context {
   virtual void Dropped(const common::Dot& dot, const Command& original) {}
 };
 
+// The minimal stable storage a crash-stop replica carries across a restart: floors
+// below which the new incarnation must not reuse identifiers. In the paper's model
+// every process persists at least its sequence counter; snapshots/log persistence are
+// out of scope, so a restarted replica re-learns committed state via the protocols'
+// recovery paths instead of local replay.
+struct RestartHint {
+  uint64_t seq_floor = 0;   // first locally-owned sequence number / slot safe to use
+  uint64_t exec_floor = 0;  // execution frontier at crash time (protocol-specific)
+};
+
 class Engine {
  public:
   virtual ~Engine() = default;
@@ -94,6 +104,17 @@ class Engine {
 
   // Failure-detector hint: process p is suspected to have crashed.
   virtual void OnSuspect(common::ProcessId p) {}
+
+  // Failure-detector hint: a previously suspected process restarted (with the given
+  // sequence floor) and is reachable again. Engines clear suspicion state and take
+  // over recovery of the old incarnation's abandoned identifiers below the floor.
+  virtual void OnRestore(common::ProcessId p, uint64_t seq_floor) {}
+
+  // Reads the dying engine's stable-storage floors (called on the old engine right
+  // before teardown) / seeds them into a freshly built replacement (called after
+  // Bind + OnStart, so protocol OnStart initialization cannot clobber the floors).
+  virtual RestartHint restart_hint() const { return {}; }
+  virtual void ApplyRestartHint(const RestartHint& hint) {}
 
   // Returned by value: composite engines (smr::ShardedEngine) aggregate over their
   // inner engines on each call, so a reference would alias the recomputation buffer

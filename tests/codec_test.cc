@@ -132,6 +132,16 @@ msg::Message SampleMessage(size_t index) {
       return ClientRequest{cmd};
     case 26:
       return ClientReply{1, 2, "result", false};
+    case 27:
+      return MnRevoke{7, 13};
+    case 28:
+      return MnRevokePromise{7, 13, 0, 1, cmd};
+    case 29:
+      return MnRevokeAccept{7, 13, 2, smr::MakeNoOp()};
+    case 30:
+      return MnRevokeAccepted{7, 13};
+    case 31:
+      return MnRevokeSkip{7};
     default:
       return MCollectAck{};
   }

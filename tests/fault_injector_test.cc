@@ -1,0 +1,220 @@
+// Unit tests for the seeded fault injector (src/fault/injector.h) and for the
+// simulator's per-link drop accounting it feeds into. The contract under test:
+//   - (seed, salt, profile) fully determines the injection schedule — two injectors
+//     fed the same send sequence produce identical schedule digests and counters;
+//   - Disarm() makes message sends pass through untouched (no rng draws, no digest
+//     movement), which the scenario packs rely on for fault-free drain windows;
+//   - timer skew stretches delays by at most timer_skew_frac and never shrinks them;
+//   - every drop, whatever its cause, is attributed both per (from, to) link and to
+//     exactly one DropStats reason, with the totals agreeing.
+#include <gtest/gtest.h>
+
+#include "src/common/types.h"
+#include "src/fault/injector.h"
+#include "src/harness/cluster.h"
+#include "src/msg/message.h"
+#include "src/sim/regions.h"
+#include "src/sim/simulator.h"
+#include "src/wl/workload.h"
+
+namespace {
+
+// A synthetic but varied send sequence: different links and message bodies so the
+// digest folds over non-constant inputs.
+msg::Message SampleMessage(uint64_t i) {
+  if (i % 2 == 0) {
+    msg::MCollectAck a;
+    a.dot = common::Dot{static_cast<common::ProcessId>(i % 3), i + 1};
+    a.deps.Insert(common::Dot{0, i + 2});
+    return msg::Message(a);
+  }
+  msg::MnCommit c;
+  c.slot = i;
+  c.cmd.op = smr::Op::kPut;
+  c.cmd.key = "k" + std::to_string(i % 7);
+  c.cmd.value = "v";
+  c.cmd.client = 1;
+  c.cmd.seq = i;
+  return msg::Message(c);
+}
+
+fault::FaultProfile MixedProfile() {
+  fault::FaultProfile p;
+  p.drop = 0.2;
+  p.duplicate = 0.2;
+  p.dup_delay_max = 50 * common::kMillisecond;
+  p.delay = 0.2;
+  p.delay_min = 1 * common::kMillisecond;
+  p.delay_max = 20 * common::kMillisecond;
+  p.truncate = 0.1;
+  return p;
+}
+
+struct Replay {
+  uint64_t digest = 0;
+  fault::Injector::Counters counters;
+};
+
+Replay ReplaySends(fault::Injector& inj, uint64_t n) {
+  for (uint64_t i = 0; i < n; i++) {
+    msg::Message m = SampleMessage(i);
+    sim::FaultPlan plan;
+    inj.OnSend(static_cast<common::ProcessId>(i % 3),
+               static_cast<common::ProcessId>((i + 1) % 3), m, plan);
+  }
+  return Replay{inj.schedule_digest(), inj.counters()};
+}
+
+TEST(FaultInjectorTest, SameSeedSameScheduleDigestAndCounters) {
+  fault::Injector a(/*seed=*/7, /*salt=*/0xabc, MixedProfile());
+  fault::Injector b(/*seed=*/7, /*salt=*/0xabc, MixedProfile());
+  Replay ra = ReplaySends(a, 500);
+  Replay rb = ReplaySends(b, 500);
+  EXPECT_EQ(ra.digest, rb.digest);
+  EXPECT_EQ(ra.counters.sends_seen, rb.counters.sends_seen);
+  EXPECT_EQ(ra.counters.dropped, rb.counters.dropped);
+  EXPECT_EQ(ra.counters.duplicated, rb.counters.duplicated);
+  EXPECT_EQ(ra.counters.delayed, rb.counters.delayed);
+  EXPECT_EQ(ra.counters.truncated, rb.counters.truncated);
+  EXPECT_EQ(ra.counters.corrupted, rb.counters.corrupted);
+  // The mixed profile at 500 sends must have actually injected something, or the
+  // equalities above are vacuous.
+  EXPECT_GT(ra.counters.dropped, 0u);
+  EXPECT_GT(ra.counters.duplicated + ra.counters.delayed, 0u);
+}
+
+TEST(FaultInjectorTest, DifferentSeedOrSaltDivergesSchedule) {
+  fault::Injector base(7, 0xabc, MixedProfile());
+  fault::Injector other_seed(8, 0xabc, MixedProfile());
+  fault::Injector other_salt(7, 0xabd, MixedProfile());
+  uint64_t d0 = ReplaySends(base, 500).digest;
+  EXPECT_NE(d0, ReplaySends(other_seed, 500).digest);
+  EXPECT_NE(d0, ReplaySends(other_salt, 500).digest);
+}
+
+TEST(FaultInjectorTest, DisarmedSendsPassThroughUntouched) {
+  fault::FaultProfile p;
+  p.drop = 1.0;  // would drop every send if armed
+  fault::Injector inj(1, 2, p);
+  inj.Disarm();
+  uint64_t digest_before = inj.schedule_digest();
+  for (uint64_t i = 0; i < 100; i++) {
+    msg::Message m = SampleMessage(i);
+    sim::FaultPlan plan;
+    inj.OnSend(0, 1, m, plan);
+    EXPECT_FALSE(plan.drop);
+    EXPECT_EQ(plan.duplicates, 0u);
+    EXPECT_EQ(plan.extra_delay, 0);
+  }
+  // Sends are still observed (the counter is bookkeeping, not a fault), but no
+  // decision is folded: re-arming later must continue the same rng stream as if
+  // the disarmed window never drew.
+  EXPECT_EQ(inj.counters().sends_seen, 100u);
+  EXPECT_EQ(inj.counters().dropped, 0u);
+  EXPECT_EQ(inj.schedule_digest(), digest_before);
+
+  inj.Arm();
+  msg::Message m = SampleMessage(0);
+  sim::FaultPlan plan;
+  inj.OnSend(0, 1, m, plan);
+  EXPECT_TRUE(plan.drop);  // drop = 1.0 applies again once armed
+}
+
+TEST(FaultInjectorTest, TimerSkewBoundedAndOptional) {
+  fault::FaultProfile p;
+  p.timer_skew = 1.0;
+  p.timer_skew_frac = 0.5;
+  fault::Injector inj(3, 4, p);
+  const common::Duration base = 100 * common::kMillisecond;
+  for (int i = 0; i < 50; i++) {
+    common::Duration skewed = inj.OnTimer(0, base);
+    EXPECT_GE(skewed, base);
+    EXPECT_LE(skewed, base + base / 2);
+  }
+  EXPECT_EQ(inj.counters().timers_skewed, 50u);
+
+  // Zero-probability profile: the exact delay comes back and nothing is counted.
+  fault::Injector off(3, 4, fault::FaultProfile{});
+  EXPECT_EQ(off.OnTimer(0, base), base);
+  EXPECT_EQ(off.counters().timers_skewed, 0u);
+}
+
+// --- Simulator-side drop attribution (per-link accounting) -------------------
+
+harness::ClusterOptions SmallCluster() {
+  harness::ClusterOptions opts;
+  opts.protocol = harness::Protocol::kAtlas;
+  opts.f = 1;
+  opts.site_regions = sim::ThreeSites();
+  opts.seed = 11;
+  opts.enable_checker = false;  // liveness is not under test here
+  return opts;
+}
+
+void AddOneClient(harness::Cluster& cluster, size_t region) {
+  harness::ClientSpec cs;
+  cs.region = region;
+  cs.workload = std::make_shared<wl::MicroWorkload>(0.3, 16);
+  cs.max_ops = 50;
+  cs.retry_timeout = 300 * common::kMillisecond;
+  cluster.AddClients(cs, 1);
+}
+
+TEST(FaultInjectorTest, LinkDownDropsAttributedPerLink) {
+  harness::ClusterOptions opts = SmallCluster();
+  harness::Cluster cluster(opts);
+  AddOneClient(cluster, opts.site_regions[0]);
+  cluster.Start();
+
+  sim::Simulator& sim = cluster.simulator();
+  sim.SetLinkDown(0, 1, true);  // directed: 0->1 black-holed, 1->0 still up
+  cluster.RunFor(3 * common::kSecond);
+
+  const sim::Simulator::DropStats& stats = sim.drop_stats();
+  EXPECT_GT(sim.messages_dropped(0, 1), 0u);
+  EXPECT_EQ(sim.messages_dropped(1, 0), 0u);
+  EXPECT_EQ(sim.messages_dropped(0, 2), 0u);
+  // The only drop cause in this run is the downed link, and every drop lands on
+  // exactly that link.
+  EXPECT_EQ(stats.link_down, sim.messages_dropped(0, 1));
+  uint64_t per_link_sum = 0;
+  for (common::ProcessId a = 0; a < cluster.n(); a++) {
+    for (common::ProcessId b = 0; b < cluster.n(); b++) {
+      per_link_sum += sim.messages_dropped(a, b);
+    }
+  }
+  EXPECT_EQ(per_link_sum, sim.messages_dropped());
+  EXPECT_EQ(stats.link_down + stats.src_crashed + stats.dest_crashed +
+                stats.stale_incarnation + stats.injected + stats.corrupted,
+            sim.messages_dropped());
+}
+
+TEST(FaultInjectorTest, InjectedDropsAttributedPerLink) {
+  harness::ClusterOptions opts = SmallCluster();
+  harness::Cluster cluster(opts);
+  AddOneClient(cluster, opts.site_regions[0]);
+
+  fault::FaultProfile p;
+  p.drop = 1.0;  // lose every inter-process message
+  fault::Injector inj(5, 6, p);
+  sim::Simulator& sim = cluster.simulator();
+  sim.SetFaultHook(&inj);
+
+  cluster.Start();
+  cluster.RunFor(2 * common::kSecond);
+  sim.SetFaultHook(nullptr);
+
+  const sim::Simulator::DropStats& stats = sim.drop_stats();
+  EXPECT_GT(stats.injected, 0u);
+  // One simulator-side attribution per injector-side drop decision.
+  EXPECT_EQ(stats.injected, inj.counters().dropped);
+  uint64_t per_link_sum = 0;
+  for (common::ProcessId a = 0; a < cluster.n(); a++) {
+    for (common::ProcessId b = 0; b < cluster.n(); b++) {
+      per_link_sum += sim.messages_dropped(a, b);
+    }
+  }
+  EXPECT_EQ(per_link_sum, sim.messages_dropped());
+}
+
+}  // namespace

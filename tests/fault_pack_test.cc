@@ -1,0 +1,103 @@
+// Tests for the scenario-pack registry (src/fault/scenario.h) and the campaign
+// runner's contract (src/fault/campaign.h): the registry is complete and stable,
+// unknown packs fail with a message instead of aborting, rerun commands are exact,
+// and a sample of (pack, protocol) tuples passes every acceptance gate.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/fault/campaign.h"
+#include "src/fault/scenario.h"
+
+namespace {
+
+TEST(FaultPackTest, RegistryIsCompleteAndStable) {
+  // Campaign sweeps iterate the registry in order; CI rerun lines reference packs
+  // by name. Renaming or reordering breaks recorded reproductions, so the list is
+  // pinned.
+  const std::vector<std::string> expected = {
+      "kill_one_replica", "partition_region_mid_commit", "dup_and_reorder",
+      "rolling_restarts", "grey_failure_slow_link"};
+  const std::vector<fault::Scenario>& all = fault::AllScenarios();
+  ASSERT_EQ(all.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); i++) {
+    EXPECT_EQ(all[i].name, expected[i]);
+    EXPECT_FALSE(all[i].description.empty());
+    // Every pack must actually schedule some fault and run long enough to drain.
+    bool has_fault = all[i].profile.AnyMessageFault() ||
+                     all[i].profile.timer_skew > 0 || !all[i].crashes.empty() ||
+                     all[i].partition || all[i].slow_link;
+    EXPECT_TRUE(has_fault) << all[i].name;
+    EXPECT_GT(all[i].run_for, 0) << all[i].name;
+    EXPECT_GT(all[i].ops_per_client, 0u) << all[i].name;
+    const fault::Scenario* found = fault::FindScenario(expected[i]);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->name, expected[i]);
+  }
+  EXPECT_EQ(fault::FindScenario("no_such_pack"), nullptr);
+}
+
+TEST(FaultPackTest, UnknownPackFailsWithMessage) {
+  fault::RunSpec spec;
+  spec.pack = "no_such_pack";
+  fault::RunResult r = fault::RunScenario(spec);
+  EXPECT_FALSE(r.pass);
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_NE(r.failures[0].find("unknown scenario pack"), std::string::npos);
+  EXPECT_NE(r.failures[0].find("no_such_pack"), std::string::npos);
+}
+
+TEST(FaultPackTest, ProtocolNamesRoundTrip) {
+  for (const char* name : {"atlas", "epaxos", "mencius"}) {
+    auto p = fault::ParseProtocol(name);
+    ASSERT_TRUE(p.has_value()) << name;
+    EXPECT_STREQ(fault::ProtocolFlagName(*p), name);
+  }
+  EXPECT_FALSE(fault::ParseProtocol("paxos").has_value());
+  EXPECT_FALSE(fault::ParseProtocol("").has_value());
+}
+
+TEST(FaultPackTest, RerunCommandIsExact) {
+  fault::RunSpec spec;
+  spec.pack = "rolling_restarts";
+  spec.seed = 42;
+  spec.protocol = harness::Protocol::kEPaxos;
+  spec.partitions = 4;
+  EXPECT_EQ(fault::RerunCommand(spec),
+            "fault_campaign --pack rolling_restarts --seed 42 --protocol epaxos "
+            "--partitions 4");
+}
+
+// A small gate-level smoke: one crash/restart pack and one message-chaos pack,
+// across all three protocols. The full seeds x packs x protocols x partitions
+// sweep lives in tools/fault_campaign.cc (CI runs `fault_campaign --smoke`); this
+// keeps a representative slice inside ctest.
+TEST(FaultPackTest, SampleTuplesPassAllGates) {
+  for (harness::Protocol proto :
+       {harness::Protocol::kAtlas, harness::Protocol::kEPaxos,
+        harness::Protocol::kMencius}) {
+    for (const char* pack : {"kill_one_replica", "dup_and_reorder"}) {
+      fault::RunSpec spec;
+      spec.pack = pack;
+      spec.seed = 1;
+      spec.protocol = proto;
+      fault::RunResult r = fault::RunScenario(spec);
+      EXPECT_TRUE(r.pass) << fault::RerunCommand(spec) << ": "
+                          << (r.failures.empty() ? "" : r.failures[0]);
+      EXPECT_EQ(r.gave_up, 0u) << fault::RerunCommand(spec);
+      EXPECT_EQ(r.stuck_clients, 0u) << fault::RerunCommand(spec);
+      EXPECT_GT(r.completed, 0u);
+      // The run must have actually exercised the pack's faults.
+      if (std::string(pack) == "kill_one_replica") {
+        EXPECT_GT(r.drops.src_crashed + r.drops.dest_crashed, 0u)
+            << fault::RerunCommand(spec);
+      } else {
+        EXPECT_GT(r.inject.duplicated + r.inject.delayed, 0u)
+            << fault::RerunCommand(spec);
+      }
+    }
+  }
+}
+
+}  // namespace

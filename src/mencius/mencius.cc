@@ -31,9 +31,8 @@ smr::RestartHint MenciusEngine::restart_hint() const {
 void MenciusEngine::ApplyRestartHint(const smr::RestartHint& hint) {
   next_own_slot_ = std::max(next_own_slot_, hint.seq_floor);
   execute_upto_ = std::max(execute_upto_, hint.exec_floor);
-  if (history_.size() < execute_upto_) {
-    history_.resize(execute_upto_);  // outcomes below the floor are unknown (what=0)
-  }
+  // Outcomes below the floor stay unknown: ring entries are slot-validated, so the
+  // never-filled positions read as unknown without materializing them.
   restarted_ = true;
   MaybeRecoverBlocked();
 }
@@ -52,11 +51,19 @@ void MenciusEngine::Submit(smr::Command cmd) {
       continue;
     }
     auto decided = log_.find(slot);
-    if (decided != log_.end() &&
-        (decided->second.state == SlotState::kCommitted ||
-         decided->second.state == SlotState::kSkipped)) {
-      slot += n_;
-      continue;
+    if (decided != log_.end()) {
+      const Slot& d = decided->second;
+      // Decided slots are unusable, and so are slots carrying Paxos acceptor
+      // state: proposing is an implicit self-accept at ballot 0, which must not
+      // clobber a promise (or an accepted revocation value) at a higher ballot —
+      // a revoker whose prepare majority meets the accept majority only here
+      // would see cmd@0 instead of the accepted skip and decide a command for a
+      // slot other replicas already executed as a skip.
+      if (d.state == SlotState::kCommitted || d.state == SlotState::kSkipped ||
+          d.promised > 0 || d.vkind != 0) {
+        slot += n_;
+        continue;
+      }
     }
     break;
   }
@@ -86,13 +93,30 @@ void MenciusEngine::Submit(smr::Command cmd) {
   }
 }
 
+const MenciusEngine::Outcome* MenciusEngine::FindOutcome(uint64_t slot) const {
+  uint64_t idx = slot % history_limit_;
+  if (idx >= history_.size() || history_[idx].what == 0 ||
+      history_[idx].slot != slot) {
+    return nullptr;
+  }
+  return &history_[idx];
+}
+
+void MenciusEngine::RememberOutcome(uint64_t slot, uint8_t what, smr::Command cmd) {
+  uint64_t idx = slot % history_limit_;
+  if (history_.size() <= idx) {
+    history_.resize(idx + 1);  // grows to at most history_limit_ entries
+  }
+  history_[idx] = Outcome{slot, what, std::move(cmd)};
+}
+
 bool MenciusEngine::AnswerIfDecided(ProcessId from, uint64_t slot) {
   uint8_t what = 0;
   const smr::Command* cmd = nullptr;
   if (slot < execute_upto_) {
-    if (slot < history_.size() && history_[slot].what != 0) {
-      what = history_[slot].what;
-      cmd = &history_[slot].cmd;
+    if (const Outcome* o = FindOutcome(slot)) {
+      what = o->what;
+      cmd = &o->cmd;
     }
   } else {
     auto it = log_.find(slot);
@@ -417,15 +441,9 @@ void MenciusEngine::TryExecute() {
     if (s.state == SlotState::kCommitted) {
       stats_.executed++;
       ctx_->Executed(common::Dot{OwnerOf(execute_upto_), execute_upto_}, s.cmd);
-      if (history_.size() <= execute_upto_) {
-        history_.resize(execute_upto_ + 1);
-      }
-      history_[execute_upto_] = Outcome{1, std::move(s.cmd)};
+      RememberOutcome(execute_upto_, 1, std::move(s.cmd));
     } else if (s.state == SlotState::kSkipped) {
-      if (history_.size() <= execute_upto_) {
-        history_.resize(execute_upto_ + 1);
-      }
-      history_[execute_upto_].what = 2;
+      RememberOutcome(execute_upto_, 2, smr::Command());
     } else {
       break;
     }

@@ -84,9 +84,12 @@ class MenciusEngine final : public smr::Engine {
   };
 
   // What a slot resolved to, retained after execution so retransmitted proposals and
-  // revocations of old slots can be answered authoritatively (catch-up path).
+  // revocations of old slots can be answered authoritatively (catch-up path). Kept in
+  // a bounded ring indexed slot % history_limit_; `slot` validates the entry, so
+  // evicted, never-filled, and pre-restart positions all read as unknown.
   struct Outcome {
-    uint8_t what = 0;  // 0 = unknown (pre-restart), 1 = command, 2 = skip
+    uint64_t slot = 0;
+    uint8_t what = 0;  // 0 = unknown, 1 = command, 2 = skip
     smr::Command cmd;
   };
 
@@ -108,6 +111,9 @@ class MenciusEngine final : public smr::Engine {
   // True when the decided outcome of `slot` is already known locally; replies to
   // `from` with MnCommit / MnRevokeSkip accordingly (catch-up short-circuit).
   bool AnswerIfDecided(common::ProcessId from, uint64_t slot);
+  // Bounded executed-outcome ring: nullptr when the slot was evicted or never filled.
+  const Outcome* FindOutcome(uint64_t slot) const;
+  void RememberOutcome(uint64_t slot, uint8_t what, smr::Command cmd);
   // Commits an own proposed slot once its ack set is complete (all non-suspected
   // replicas) and forms a majority.
   bool AckSetComplete(const Slot& s) const;
@@ -133,7 +139,8 @@ class MenciusEngine final : public smr::Engine {
   uint64_t next_own_slot_ = 0;  // smallest unused slot owned by this process
   uint64_t execute_upto_ = 0;
   uint64_t max_seen_slot_ = 0;  // highest slot observed in traffic (catch-up bound)
-  std::vector<Outcome> history_;  // indexed by slot, filled at execution
+  std::vector<Outcome> history_;  // bounded ring, see Outcome
+  size_t history_limit_ = 1 << 17;  // ring capacity, mirrors decided_cache_limit_
   std::set<common::ProcessId> suspected_;
   bool restarted_ = false;
   bool retry_timer_armed_ = false;

@@ -153,7 +153,9 @@ void Simulator::SendMessage(common::ProcessId from, common::ProcessId to,
     } else {
       drop_stats_.injected++;
     }
-    drops_per_link_[LinkIndex(from, to)]++;
+    if (!drops_per_link_.empty()) {
+      drops_per_link_[LinkIndex(from, to)]++;
+    }
     return;
   }
   common::Time arrival = base + plan.extra_delay;

@@ -111,6 +111,39 @@ TEST(MenciusTest, CommitRequiresAllReplicas) {
   EXPECT_EQ(o0, o1);
 }
 
+TEST(MenciusTest, SubmitDoesNotClobberAcceptedRevocationState) {
+  // Regression: the owner's Submit is an implicit self-accept at ballot 0. If the
+  // owner already promised a revocation ballot and accepted a skip for its next own
+  // slot (and the MnRevokeSkip learn was lost), Submit must move to the next owned
+  // slot instead of overwriting the accepted skip with cmd@0 — otherwise a later
+  // revocation can decide the command for a slot others executed as a skip.
+  TestCluster tc(3);
+  common::Ballot b = common::NextRecoveryBallot(1, 0, 3);
+  msg::MnRevoke rev;
+  rev.slot = 0;
+  rev.ballot = b;
+  tc.engines[0]->OnMessage(1, rev);  // owner promises ballot b for slot 0
+  msg::MnRevokeAccept acc;
+  acc.slot = 0;
+  acc.ballot = b;
+  acc.choice = 2;  // skip
+  tc.engines[0]->OnMessage(1, acc);  // owner accepts skip@b; the learn is "lost"
+  tc.engines[0]->Submit(smr::MakePut(1, 1, "k", "v"));  // must go to slot 3, not 0
+  // The revocation's decision eventually reaches everyone.
+  msg::MnRevokeSkip sk;
+  sk.slot = 0;
+  for (int p = 0; p < 3; p++) {
+    tc.engines[p]->OnMessage(1, sk);
+  }
+  tc.sim->RunUntilIdle();
+  ASSERT_EQ(tc.executed.size(), 3u);  // the command survives, once per replica
+  auto ref = tc.OrderAt(0);
+  ASSERT_EQ(ref.size(), 1u);
+  EXPECT_EQ(tc.OrderAt(1), ref);
+  EXPECT_EQ(tc.OrderAt(2), ref);
+  EXPECT_GE(tc.engines[0]->ExecutedUpto(), 4u);  // slots 0-2 skipped, 3 committed
+}
+
 TEST(MenciusTest, IdleReplicasDoNotBlockExecution) {
   TestCluster tc(5);
   // Only replica 3 submits; everyone else is idle and must skip.

@@ -5,6 +5,9 @@
 //   $ ./build/kvs_cluster                       # classic single-engine replicas
 //   $ ./build/kvs_cluster --partitions 4        # 4 engines per node, key-space sharded
 //   $ ./build/kvs_cluster --partitions 4 --batch-window-ms 5 --batch-max 32
+//   $ ./build/kvs_cluster --partitions 4 --threads-per-node   # one worker thread
+//                                               # per shard behind SPSC mailboxes
+//   $ ./build/kvs_cluster --partitions 4 --threads-per-node --pin-cores
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +25,8 @@ int main(int argc, char** argv) {
   uint32_t partitions = 1;
   uint64_t batch_window_ms = 0;
   size_t batch_max = 64;
+  bool threaded = false;
+  bool pin_cores = false;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--partitions") == 0 && i + 1 < argc) {
       partitions = static_cast<uint32_t>(std::atoi(argv[++i]));
@@ -29,13 +34,21 @@ int main(int argc, char** argv) {
       batch_window_ms = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--batch-max") == 0 && i + 1 < argc) {
       batch_max = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--threads-per-node") == 0) {
+      threaded = true;
+    } else if (std::strcmp(argv[i], "--pin-cores") == 0) {
+      pin_cores = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--partitions N] [--batch-window-ms N] "
-                   "[--batch-max N]\n",
+                   "[--batch-max N] [--threads-per-node] [--pin-cores]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (pin_cores && !threaded) {
+    std::fprintf(stderr, "--pin-cores requires --threads-per-node\n");
+    return 2;
   }
   if (partitions < 1 || partitions > smr::ShardedEngine::kMaxPartitions ||
       batch_max < 1) {
@@ -63,6 +76,11 @@ int main(int argc, char** argv) {
     d.partitions = partitions;
     d.batch_window = batch_window_ms * common::kMillisecond;
     d.batch_max = batch_max;
+    // Threaded runtime: each shard's engine runs on its own worker thread
+    // behind SPSC mailboxes (--pin-cores additionally sets CPU affinity,
+    // shard s -> core s % ncores). Single-driver epoll loop otherwise.
+    d.threaded = threaded;
+    d.pin_cores = pin_cores;
     replicas.push_back(std::make_unique<smr::Deployment>(std::move(d)));
     nodes.push_back(std::make_unique<rt::Node>(i, addrs, replicas[i].get()));
     if (!nodes.back()->Listen()) {
@@ -70,7 +88,11 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  std::printf("3 ATLAS replicas (P=%u) listening on 127.0.0.1:%u..%u\n", partitions,
+  std::printf("3 ATLAS replicas (P=%u%s) listening on 127.0.0.1:%u..%u\n",
+              partitions,
+              threaded ? (pin_cores ? ", thread-per-shard, pinned"
+                                    : ", thread-per-shard")
+                       : "",
               base_port, base_port + kReplicas - 1);
 
   std::vector<std::thread> threads;

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <thread>
 
 #include "src/codec/codec.h"
 #include "src/common/check.h"
@@ -51,17 +52,41 @@ class Connection {
   }
 
   void SendFrame(const std::vector<uint8_t>& payload) {
+    QueueFrame(payload);
+    Flush();
+  }
+
+  // Appends a frame to the write buffer without flushing. The threaded drain
+  // path queues every frame a drain pass produces, then flushes each dirty
+  // connection once — one write syscall per socket per pass, however many
+  // shards fed it.
+  void QueueFrame(const std::vector<uint8_t>& payload) {
     uint8_t header[4];
     uint32_t len = static_cast<uint32_t>(payload.size());
     std::memcpy(header, &len, 4);
     out_.insert(out_.end(), header, header + 4);
     out_.insert(out_.end(), payload.begin(), payload.end());
-    Flush();
+  }
+
+  void Flush() {
+    while (!out_.empty()) {
+      ssize_t n = write(fd_, out_.data(), out_.size());
+      if (n > 0) {
+        out_.erase(out_.begin(), out_.begin() + n);
+      } else {
+        if (errno != EAGAIN && errno != EWOULDBLOCK) {
+          closed_ = true;
+        }
+        break;
+      }
+    }
+    node_->loop_.ModifyFd(fd_, out_.empty() ? EPOLLIN : (EPOLLIN | EPOLLOUT));
   }
 
   bool closed() const { return closed_; }
   common::ProcessId peer_id = common::kInvalidProcess;  // set after peer hello
   bool is_client = false;
+  bool dirty = false;  // queued frames awaiting the pass-end flush (threaded mode)
 
  private:
   void OnReady(uint32_t events) {
@@ -109,21 +134,6 @@ class Connection {
     }
   }
 
-  void Flush() {
-    while (!out_.empty()) {
-      ssize_t n = write(fd_, out_.data(), out_.size());
-      if (n > 0) {
-        out_.erase(out_.begin(), out_.begin() + n);
-      } else {
-        if (errno != EAGAIN && errno != EWOULDBLOCK) {
-          closed_ = true;
-        }
-        break;
-      }
-    }
-    node_->loop_.ModifyFd(fd_, out_.empty() ? EPOLLIN : (EPOLLIN | EPOLLOUT));
-  }
-
   Node* node_;
   int fd_;
   std::vector<uint8_t> in_;
@@ -136,6 +146,15 @@ Node::Node(common::ProcessId id, std::vector<PeerAddress> peers,
     : self_(id), peers_(std::move(peers)), deployment_(deployment) {
   CHECK_LT(self_, peers_.size());
   CHECK(deployment_ != nullptr);
+  if (deployment_->options().threaded) {
+    ShardRuntime::Options ro;
+    ro.pin_cores = deployment_->options().pin_cores;
+    ro.mailbox_capacity = deployment_->options().mailbox_capacity;
+    shards_ = std::make_unique<ShardRuntime>(deployment_, ro);
+    shards_->set_output_notify([this]() { out_bell_.Ring(); });
+    loop_.WatchFd(out_bell_.fd(), EPOLLIN, [this](uint32_t) { OnWorkerOutput(); });
+    out_bell_.Arm();
+  }
 }
 
 Node::~Node() {
@@ -208,6 +227,14 @@ void Node::Run() {
   }
   MaybeStartEngine();
   loop_.Run();
+  if (shards_ != nullptr) {
+    // Join every shard worker before returning control to the caller (who may
+    // destroy the deployment), then push out whatever the workers produced
+    // between the last drain and the join.
+    shards_->Stop();
+    DrainShardOutputs();
+    FlushDirty();
+  }
 }
 
 void Node::OnPeerConnected(common::ProcessId peer, std::unique_ptr<Connection> conn) {
@@ -220,6 +247,21 @@ void Node::MaybeStartEngine() {
     return;
   }
   engine_started_ = true;
+  if (shards_ != nullptr) {
+    // Threaded tier: each worker binds and starts its own shard engine on its
+    // own thread; the ShardedEngine wrapper (and this node's Context methods)
+    // stay out of the message path entirely.
+    shards_->Start(self_, static_cast<uint32_t>(peers_.size()));
+    for (smr::Command& cmd : pending_submits_) {
+      uint32_t shard = 0;
+      if (deployment_->partitions() > 1) {
+        deployment_->partitioner().SingleShard(cmd, &shard);  // validated at OnFrame
+      }
+      RouteInput(common::kInvalidProcess, nullptr, shard, &cmd);
+    }
+    pending_submits_.clear();
+    return;
+  }
   deployment_->engine().Bind(self_, static_cast<uint32_t>(peers_.size()), this);
   deployment_->engine().OnStart();
   for (smr::Command& cmd : pending_submits_) {
@@ -265,6 +307,7 @@ void Node::OnFrame(Connection* conn, const uint8_t* data, size_t size) {
           // whole cluster at the deployment's unpack CHECK once it replicated.
           // Reject it at the door, at any partition count.
           bool unroutable = req->cmd.is_batch();
+          uint32_t shard = 0;
           if (!unroutable && deployment_->partitions() > 1) {
             // Partition-aware routing: validate against the deployment's
             // Partitioner before the command reaches an engine. A routable
@@ -273,7 +316,6 @@ void Node::OnFrame(Connection* conn, const uint8_t* data, size_t size) {
             // untrusted client (noOps, key sets spanning partitions) is
             // rejected as dropped instead of CHECK-crashing the replica. P=1
             // submits verbatim, exactly as the seeded runtime did.
-            uint32_t shard = 0;
             unroutable = !deployment_->partitioner().SingleShard(req->cmd, &shard);
           }
           if (unroutable) {
@@ -284,7 +326,11 @@ void Node::OnFrame(Connection* conn, const uint8_t* data, size_t size) {
           }
           waiting_clients_[chk::CmdKey{req->cmd.client, req->cmd.seq}] = conn;
           if (engine_started_) {
-            deployment_->engine().Submit(req->cmd);
+            if (shards_ != nullptr) {
+              RouteInput(common::kInvalidProcess, nullptr, shard, &req->cmd);
+            } else {
+              deployment_->engine().Submit(req->cmd);
+            }
           } else {
             pending_submits_.push_back(req->cmd);
           }
@@ -292,7 +338,11 @@ void Node::OnFrame(Connection* conn, const uint8_t* data, size_t size) {
         return;
       }
       if (conn->peer_id != common::kInvalidProcess && engine_started_) {
-        deployment_->engine().OnMessage(conn->peer_id, m);
+        if (shards_ != nullptr) {
+          RouteInput(conn->peer_id, &m, /*shard=*/0, nullptr);
+        } else {
+          deployment_->engine().OnMessage(conn->peer_id, m);
+        }
       }
       break;
     }
@@ -355,7 +405,7 @@ void Node::ReplyToClient(uint64_t client, uint64_t seq, std::string&& value,
 }
 
 void Node::SendReply(Connection* conn, uint64_t client, uint64_t seq,
-                     std::string&& value, bool dropped) {
+                     std::string&& value, bool dropped, bool flush) {
   if (conn == nullptr || conn->closed()) {
     return;
   }
@@ -367,7 +417,94 @@ void Node::SendReply(Connection* conn, uint64_t client, uint64_t seq,
   encode_scratch_.Clear();
   encode_scratch_.U8(kFrameMessage);
   msg::Encode(encode_scratch_, msg::Message{reply});
-  conn->SendFrame(encode_scratch_.buffer());
+  if (flush) {
+    conn->SendFrame(encode_scratch_.buffer());
+  } else {
+    conn->QueueFrame(encode_scratch_.buffer());
+    MarkDirty(conn);
+  }
+}
+
+// --- Threaded-mode I/O tier ------------------------------------------------
+
+void Node::RouteInput(common::ProcessId from, msg::Message* m, uint32_t shard,
+                      smr::Command* cmd) {
+  // Bounded retry, never a blocking wait: a full inbox with a live worker
+  // drains in microseconds once we stop hogging the core; a dead worker's
+  // inbox swallows input inside the runtime. Draining outboxes between
+  // attempts keeps the worker from stalling on a full *outbox* while we spin
+  // on its inbox (the deadlock the mailbox discipline forbids).
+  constexpr int kMaxSpins = 200000;
+  for (int spin = 0;; spin++) {
+    bool ok = m != nullptr ? shards_->RouteMessage(from, *m)
+                           : shards_->SubmitToShard(shard, *cmd);
+    if (ok) {
+      return;
+    }
+    if (DrainShardOutputs() > 0) {
+      FlushDirty();
+    }
+    if (spin >= kMaxSpins) {
+      shards_->CountDroppedInput();
+      return;
+    }
+    std::this_thread::yield();
+  }
+}
+
+void Node::OnWorkerOutput() {
+  out_bell_.Drain();
+  while (true) {
+    DrainShardOutputs();
+    FlushDirty();
+    out_bell_.Arm();
+    // Arm-then-recheck: output pushed between the drain and the arm produced
+    // no ring (bell was disarmed), so catch it here and go around again.
+    if (!shards_->HasOutput()) {
+      break;
+    }
+  }
+}
+
+size_t Node::DrainShardOutputs() { return shards_->DrainOutputs(*this); }
+
+void Node::OnPeerSend(common::ProcessId to, msg::Message& m) {
+  auto it = peer_conns_.find(to);
+  if (it == peer_conns_.end() || it->second == nullptr || it->second->closed()) {
+    return;  // peer down; engines tolerate message loss
+  }
+  encode_scratch_.Clear();
+  encode_scratch_.Reserve(1 + msg::EncodedSize(m));
+  encode_scratch_.U8(kFrameMessage);
+  msg::Encode(encode_scratch_, m);
+  it->second->QueueFrame(encode_scratch_.buffer());
+  MarkDirty(it->second.get());
+}
+
+void Node::OnClientReply(uint64_t client, uint64_t seq, std::string&& value,
+                         bool dropped) {
+  auto it = waiting_clients_.find(chk::CmdKey{client, seq});
+  if (it == waiting_clients_.end()) {
+    return;
+  }
+  Connection* conn = it->second;
+  waiting_clients_.erase(it);
+  SendReply(conn, client, seq, std::move(value), dropped, /*flush=*/false);
+}
+
+void Node::MarkDirty(Connection* conn) {
+  if (!conn->dirty) {
+    conn->dirty = true;
+    dirty_conns_.push_back(conn);
+  }
+}
+
+void Node::FlushDirty() {
+  for (Connection* conn : dirty_conns_) {
+    conn->dirty = false;
+    conn->Flush();
+  }
+  dirty_conns_.clear();
 }
 
 void Node::Stop() { loop_.Stop(); }
@@ -408,7 +545,7 @@ bool Client::Connect() {
   return write(fd_, out.data(), out.size()) == static_cast<ssize_t>(out.size());
 }
 
-bool Client::Call(const smr::Command& cmd, std::string* result_out) {
+bool Client::Send(const smr::Command& cmd) {
   if (fd_ < 0) {
     return false;
   }
@@ -423,48 +560,62 @@ bool Client::Call(const smr::Command& cmd, std::string* result_out) {
   std::vector<uint8_t> out(4);
   std::memcpy(out.data(), &len, 4);
   out.insert(out.end(), w.buffer().begin(), w.buffer().end());
-  if (write(fd_, out.data(), out.size()) != static_cast<ssize_t>(out.size())) {
+  return write(fd_, out.data(), out.size()) == static_cast<ssize_t>(out.size());
+}
+
+bool Client::RecvReply(uint64_t* seq_out, std::string* result_out) {
+  if (fd_ < 0) {
     return false;
   }
-  // Blocking read of one reply frame.
-  std::vector<uint8_t> in;
   while (true) {
+    if (in_.size() >= 4) {
+      uint32_t frame_len;
+      std::memcpy(&frame_len, in_.data(), 4);
+      if (in_.size() - 4 >= frame_len) {
+        codec::Reader r(in_.data() + 4, frame_len);
+        if (r.U8() != kFrameMessage) {
+          return false;
+        }
+        msg::Message m;
+        if (!msg::Decode(r, m)) {
+          return false;
+        }
+        in_.erase(in_.begin(), in_.begin() + 4 + frame_len);
+        auto* reply = msg::get_if<msg::ClientReply>(&m);
+        if (reply == nullptr) {
+          return false;
+        }
+        if (seq_out != nullptr) {
+          *seq_out = reply->seq;
+        }
+        if (result_out != nullptr) {
+          *result_out = reply->dropped ? "<dropped>" : reply->value;
+        }
+        return true;
+      }
+    }
     uint8_t buf[4096];
     ssize_t n = read(fd_, buf, sizeof(buf));
     if (n <= 0) {
       return false;
     }
-    in.insert(in.end(), buf, buf + n);
-    if (in.size() < 4) {
-      continue;
-    }
-    uint32_t frame_len;
-    std::memcpy(&frame_len, in.data(), 4);
-    if (in.size() - 4 < frame_len) {
-      continue;
-    }
-    codec::Reader r(in.data() + 4, frame_len);
-    if (r.U8() != kFrameMessage) {
-      return false;
-    }
-    msg::Message m;
-    if (!msg::Decode(r, m)) {
-      return false;
-    }
-    auto* reply = msg::get_if<msg::ClientReply>(&m);
-    if (reply == nullptr) {
-      return false;
-    }
-    if (reply->client != cmd.client || reply->seq != cmd.seq) {
-      // Stale reply (shouldn't happen with one outstanding call); skip the frame.
-      in.erase(in.begin(), in.begin() + 4 + frame_len);
-      continue;
-    }
-    if (result_out != nullptr) {
-      *result_out = reply->dropped ? "<dropped>" : reply->value;
-    }
-    return true;
+    in_.insert(in_.end(), buf, buf + n);
   }
+}
+
+bool Client::Call(const smr::Command& cmd, std::string* result_out) {
+  if (!Send(cmd)) {
+    return false;
+  }
+  // With one outstanding request the next reply is ours; skip stale frames
+  // defensively all the same.
+  uint64_t seq = 0;
+  while (RecvReply(&seq, result_out)) {
+    if (seq == cmd.seq) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace rt

@@ -10,8 +10,16 @@
 // on sharded replicas the command lands directly on its partition's engine, with
 // no extra hop — and the reply is sent when the command executes locally. The
 // message envelope's shard tag and the shard-tagged timer tokens both round-trip
-// through the node unchanged, so one listen socket and one timer wheel serve all
-// partitions (the assembly is identical to what the simulator harness drives).
+// through the node unchanged.
+//
+// Two execution modes, selected by smr::DeploymentOptions::threaded:
+//   * single-driver (default): the epoll thread drives every shard engine
+//     inline, exactly as the simulator harness does;
+//   * thread-per-shard: the epoll thread becomes a pure I/O tier — it decodes
+//     envelopes, routes them by shard tag into SPSC mailboxes feeding one
+//     worker thread per shard (src/rt/shard_runtime.h), and drains worker
+//     output back out, coalescing outbound frames so each socket is written
+//     at most once per drain pass no matter how many shards fed it.
 //
 // Scope: the failure-free data path (reconnect/catch-up on TCP loss is future work;
 // the simulator covers failure experiments deterministically).
@@ -28,6 +36,7 @@
 #include "src/chk/checker.h"
 #include "src/codec/codec.h"
 #include "src/rt/event_loop.h"
+#include "src/rt/shard_runtime.h"
 #include "src/smr/deployment.h"
 
 namespace rt {
@@ -39,7 +48,7 @@ struct PeerAddress {
 
 class Connection;
 
-class Node final : public smr::Context {
+class Node final : public smr::Context, public ShardOutputSink {
  public:
   // The deployment (one node's full replica assembly: engine, per-shard stores,
   // batching) is borrowed and must outlive the node.
@@ -60,15 +69,27 @@ class Node final : public smr::Context {
   // count individually; noOps excluded). Safe to read from other threads: tests
   // poll it to detect quiescence before stopping the cluster.
   uint64_t applied_ops() const {
-    return applied_ops_.load(std::memory_order_acquire);
+    return shards_ != nullptr ? shards_->applied_ops()
+                              : applied_ops_.load(std::memory_order_acquire);
   }
 
-  // smr::Context:
+  // Thread-per-shard runtime; nullptr in single-driver mode. Exposed for fault
+  // drills (tests stop one shard's worker and assert clean node shutdown).
+  ShardRuntime* shard_runtime() { return shards_.get(); }
+
+  // smr::Context (single-driver mode; in threaded mode the per-shard workers
+  // are the engines' contexts and these are never invoked):
   void Send(common::ProcessId to, msg::Message m) override;
   common::Time Now() const override { return EventLoop::NowUs(); }
   void SetTimer(common::Duration delay, uint64_t token) override;
   void Executed(const common::Dot& dot, const smr::Command& cmd) override;
   void Dropped(const common::Dot& dot, const smr::Command& original) override;
+
+  // ShardOutputSink (threaded mode, I/O thread): queue frames per connection;
+  // DrainShardOutputs flushes each touched socket once per pass.
+  void OnPeerSend(common::ProcessId to, msg::Message& m) override;
+  void OnClientReply(uint64_t client, uint64_t seq, std::string&& value,
+                     bool dropped) override;
 
  private:
   friend class Connection;
@@ -77,11 +98,23 @@ class Node final : public smr::Context {
   void OnPeerConnected(common::ProcessId peer, std::unique_ptr<Connection> conn);
   void OnFrame(Connection* conn, const uint8_t* data, size_t size);
   void MaybeStartEngine();
+  // Threaded mode: routes one decoded input to its shard's inbox, draining
+  // worker outboxes while the inbox is full (never a blocking wait; bounded
+  // retries, then the input is dropped and counted).
+  void RouteInput(common::ProcessId from, msg::Message* m, uint32_t shard,
+                  smr::Command* cmd);
+  // Threaded mode: doorbell callback — drain outboxes, flush dirty sockets.
+  void OnWorkerOutput();
+  size_t DrainShardOutputs();
+  void MarkDirty(Connection* conn);
+  void FlushDirty();
   // Sends a ClientReply frame to the client waiting on (client, seq), if any.
   void ReplyToClient(uint64_t client, uint64_t seq, std::string&& value, bool dropped);
-  // Sends a ClientReply frame on a specific connection (rejection path).
+  // Sends a ClientReply frame on a specific connection (rejection path). With
+  // `flush` false the frame is queued and the connection marked dirty instead
+  // (threaded drain path).
   void SendReply(Connection* conn, uint64_t client, uint64_t seq, std::string&& value,
-                 bool dropped);
+                 bool dropped, bool flush = true);
 
   common::ProcessId self_;
   std::vector<PeerAddress> peers_;
@@ -101,9 +134,18 @@ class Node final : public smr::Context {
   codec::Writer encode_scratch_;
   std::atomic<uint64_t> applied_ops_{0};
   bool engine_started_ = false;
+
+  // Threaded mode only. Declaration order matters: workers ring out_bell_ and
+  // reference the deployment, so shards_ (declared last) is destroyed — and its
+  // workers joined — first.
+  Doorbell out_bell_;
+  std::vector<Connection*> dirty_conns_;
+  std::unique_ptr<ShardRuntime> shards_;
 };
 
-// Minimal synchronous client for examples and tests.
+// Minimal synchronous client for examples and tests. Also supports pipelined
+// use (a fixed window of outstanding requests per connection) via Send/RecvReply;
+// Call is Send + RecvReply with one outstanding request.
 class Client {
  public:
   Client(const std::string& host, uint16_t port);
@@ -113,10 +155,18 @@ class Client {
   // Sends cmd and blocks until the reply arrives. Returns false on connection error.
   bool Call(const smr::Command& cmd, std::string* result_out);
 
+  // Pipelined path: enqueue one request without waiting for its reply.
+  bool Send(const smr::Command& cmd);
+  // Blocks until the next ClientReply frame arrives. Replies to one connection
+  // can arrive out of submission order (commands on different shards complete
+  // independently), so the reply's seq is reported for correlation.
+  bool RecvReply(uint64_t* seq_out, std::string* result_out);
+
  private:
   std::string host_;
   uint16_t port_;
   int fd_ = -1;
+  std::vector<uint8_t> in_;  // partial-frame carry across RecvReply calls
 };
 
 }  // namespace rt

@@ -85,6 +85,15 @@ struct DeploymentOptions {
 
   // Builds the per-shard service replica; nullptr defaults to kvs::KvStore.
   std::function<std::unique_ptr<StateMachine>()> state_machine_factory;
+
+  // Runtime threading (honored by rt::Node only; the simulator path stays
+  // single-threaded and byte-identical regardless of these). With `threaded`
+  // set, each shard's engine runs on its own OS worker thread fed by bounded
+  // SPSC mailboxes (src/rt/shard_runtime.h) instead of being multiplexed over
+  // the I/O thread. `pin_cores` additionally pins worker s to CPU s % ncpus.
+  bool threaded = false;
+  bool pin_cores = false;
+  size_t mailbox_capacity = 8192;  // slots per (I/O <-> shard) mailbox edge
 };
 
 class Deployment {
@@ -101,6 +110,7 @@ class Deployment {
   uint32_t partitions() const { return opts_.partitions; }
   Protocol protocol() const { return opts_.protocol; }
   const Partitioner& partitioner() const { return partitioner_; }
+  const DeploymentOptions& options() const { return opts_; }
 
   // Partition of an executed/dropped command's key (0 for noOps, which apply
   // nowhere and are skipped by checkers anyway).
@@ -150,6 +160,27 @@ class Deployment {
     ApplyOne(cmd, fn);
   }
 
+  // Threaded-runtime variant of ApplyExecuted: applies a command executed by
+  // shard `shard`'s engine using caller-owned unpack scratch, so one worker
+  // thread per shard may apply concurrently (exec_scratch_ and the ShardOfCmd
+  // routing above are single-driver state). Every sub-command of a sharded
+  // engine's command belongs to that shard by construction (the submission
+  // path routed it there); noOps apply as no-ops on the shard's own store.
+  // applied_counts_[shard] is written by shard's worker alone — readers must
+  // synchronize via worker join (or use the runtime's atomic counters).
+  template <class Fn>
+  void ApplyExecutedShard(uint32_t shard, const Command& cmd,
+                          std::vector<Command>& scratch, Fn&& fn) {
+    if (cmd.is_batch()) {
+      CHECK(UnpackBatch(cmd, scratch));
+      for (const Command& sub : scratch) {
+        ApplyOneShard(shard, sub, fn);
+      }
+      return;
+    }
+    ApplyOneShard(shard, cmd, fn);
+  }
+
   // Invokes fn(sub_command) for every client command a committed engine-level
   // command carries. Separate scratch from ApplyExecuted: the Committed hook fires
   // mid-ApplyCommit and the execute path may unpack later in the same call chain.
@@ -185,6 +216,11 @@ class Deployment {
   template <class Fn>
   void ApplyOne(const Command& cmd, Fn&& fn) {
     uint32_t shard = ShardOfCmd(cmd);
+    ApplyOneShard(shard, cmd, fn);
+  }
+
+  template <class Fn>
+  void ApplyOneShard(uint32_t shard, const Command& cmd, Fn&& fn) {
     std::string result = stores_[shard]->Apply(cmd);
     if (!cmd.is_noop()) {
       applied_counts_[shard]++;

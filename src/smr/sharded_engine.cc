@@ -86,11 +86,16 @@ void ShardedEngine::Submit(Command cmd) {
     Flush(s);
     return;
   }
-  if (buf.size() == 1) {
-    // First command of a fresh batch: arm the window. Timers cannot be cancelled, so
-    // a stale timer may flush a later batch early — harmless (smaller batch), and
-    // still deterministic.
-    ctx_->SetTimer(opts_.batch_window, FlushToken(s));
+  if (!drain_armed_) {
+    // First buffered command while no drain is scheduled: arm one window for the
+    // whole replica. The fire drains every shard round-robin, so P shards share
+    // one timer per window instead of arming one per shard per fresh batch
+    // (whose uncancellable stale copies flushed partial batches early — the
+    // simulated P=8 throughput regression). The generation makes stale timers
+    // exact no-ops instead of early flushes.
+    drain_armed_ = true;
+    drain_generation_++;
+    ctx_->SetTimer(opts_.batch_window, DrainToken(drain_generation_));
   }
 }
 
@@ -126,9 +131,11 @@ void ShardedEngine::OnMessage(common::ProcessId from, const msg::Message& m) {
 
 void ShardedEngine::OnTimer(uint64_t token) {
   if ((token & 1) == 0) {
-    uint32_t s = static_cast<uint32_t>(token >> 1);
-    CHECK_LT(s, opts_.partitions);
-    Flush(s);
+    if ((token >> 1) != drain_generation_ || !drain_armed_) {
+      return;  // stale drain timer from an earlier arming; current one still runs
+    }
+    drain_armed_ = false;
+    FlushAll();
     return;
   }
   uint64_t t = token >> 1;

@@ -84,12 +84,10 @@ class ShardedEngine final : public Engine {
  private:
   class ShardContext;
 
-  // Timer-token layout: bit 0 selects between the wrapper's own batch-flush timers
-  // (0: token >> 1 is the shard) and inner-engine timers (1: token >> 1 packs
-  // (inner_token << kShardBits) | shard).
-  static uint64_t FlushToken(uint32_t shard) {
-    return static_cast<uint64_t>(shard) << 1;
-  }
+  // Timer-token layout: bit 0 selects between the wrapper's own batch-drain timer
+  // (0: token >> 1 is the arming generation) and inner-engine timers (1:
+  // token >> 1 packs (inner_token << kShardBits) | shard).
+  static uint64_t DrainToken(uint64_t generation) { return generation << 1; }
   static uint64_t InnerToken(uint64_t token, uint32_t shard) {
     return (((token << kShardBits) | shard) << 1) | 1;
   }
@@ -106,6 +104,14 @@ class ShardedEngine final : public Engine {
   // encoded through a reused writer so flushing never regrows a fresh buffer
   // (ROADMAP known-allocation, pinned by alloc_test).
   std::vector<codec::Writer> batch_writers_;
+  // Single round-robin drain timer for all shards: armed by the first command
+  // buffered anywhere while unarmed, it flushes every shard's pending batch
+  // when it fires. One timer per window regardless of P — per-shard windows
+  // armed one timer per fresh batch per shard, and their uncancellable stale
+  // timers chopped high-P batches into fragments (the simulated-P=8 regression
+  // this replaces). The generation in the token discards stale timers exactly.
+  uint64_t drain_generation_ = 0;
+  bool drain_armed_ = false;
   bool started_ = false;
 };
 

@@ -1,0 +1,142 @@
+// SPSC mailbox + doorbell unit and stress tests (src/rt/mailbox.h).
+//
+//  * capacity: rounds up to a power of two; TryPush fails (item untouched) on a
+//    full ring and recovers after one pop — the backpressure contract the
+//    threaded runtime's deadlock-freedom discipline is built on;
+//  * slot residency: items move through resident slots across many wraps with
+//    payloads intact (the allocation-free pin for this path lives in
+//    alloc_test, which counts heap traffic through the same cycle);
+//  * FIFO under real concurrency: a producer thread and a consumer thread move
+//    a large sequenced stream through a small ring; order and completeness
+//    must survive the backpressure-induced retries on both sides;
+//  * doorbell: Ring wakes a parked consumer; a ring while disarmed is
+//    swallowed (that is the point — the armed flag makes the common awake case
+//    syscall-free, and the consumer's arm-then-recheck covers the gap).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/rt/mailbox.h"
+
+namespace rt {
+namespace {
+
+TEST(MailboxTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(Mailbox<int>(1).capacity(), 1u);
+  EXPECT_EQ(Mailbox<int>(2).capacity(), 2u);
+  EXPECT_EQ(Mailbox<int>(5).capacity(), 8u);
+  EXPECT_EQ(Mailbox<int>(8).capacity(), 8u);
+  EXPECT_EQ(Mailbox<int>(8192).capacity(), 8192u);
+}
+
+TEST(MailboxTest, PushFailsWhenFullAndRecoversAfterPop) {
+  Mailbox<int> box(4);
+  for (int i = 0; i < 4; i++) {
+    int v = i;
+    ASSERT_TRUE(box.TryPush(v)) << "push " << i;
+  }
+  int overflow = 99;
+  EXPECT_FALSE(box.TryPush(overflow));
+  EXPECT_EQ(overflow, 99);  // a failed push leaves the item untouched
+  EXPECT_EQ(box.SizeApprox(), 4u);
+
+  int out = -1;
+  ASSERT_TRUE(box.TryPop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(box.TryPush(overflow));  // one pop frees exactly one slot
+
+  for (int expected : {1, 2, 3, 99}) {
+    ASSERT_TRUE(box.TryPop(out));
+    EXPECT_EQ(out, expected);
+  }
+  EXPECT_FALSE(box.TryPop(out));
+  EXPECT_TRUE(box.Empty());
+}
+
+// Payloads survive many ring wraps through the same resident slots, including
+// strings large enough to live on the heap (moved, never copied or corrupted).
+TEST(MailboxTest, SlotsCarryPayloadsAcrossWraps) {
+  Mailbox<std::string> box(4);
+  std::string item;
+  std::string out;
+  const std::string big(512, 'x');  // well past SSO
+  for (int round = 0; round < 1000; round++) {
+    item = big + std::to_string(round);
+    ASSERT_TRUE(box.TryPush(item));
+    ASSERT_TRUE(box.TryPop(out));
+    EXPECT_EQ(out, big + std::to_string(round));
+  }
+  EXPECT_TRUE(box.Empty());
+}
+
+// One producer thread, one consumer thread, a ring far smaller than the
+// stream: every item arrives exactly once, in order, through sustained
+// backpressure on both sides.
+TEST(MailboxTest, TwoThreadFifoStress) {
+  Mailbox<uint64_t> box(64);
+  const uint64_t kItems = 200000;
+
+  std::thread producer([&box]() {
+    for (uint64_t i = 0; i < kItems;) {
+      uint64_t v = i;
+      if (box.TryPush(v)) {
+        i++;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  uint64_t next = 0;
+  uint64_t out = 0;
+  while (next < kItems) {
+    if (box.TryPop(out)) {
+      ASSERT_EQ(out, next) << "FIFO order broken";
+      next++;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(box.Empty());
+  EXPECT_EQ(next, kItems);
+}
+
+TEST(MailboxTest, DoorbellWakesParkedConsumer) {
+  Doorbell bell;
+  std::atomic<bool> rung{false};
+  std::thread consumer([&]() {
+    bell.Arm();
+    rung.store(bell.Wait(/*timeout_us=*/5 * 1000 * 1000));
+  });
+  // Ring until the consumer reports the wakeup: a ring while it has not armed
+  // yet is a no-op by design, so keep ringing like a retrying producer would.
+  while (!rung.load()) {
+    bell.Ring();
+    std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_TRUE(rung.load());
+}
+
+TEST(MailboxTest, DoorbellWaitTimesOutWhenNotRung) {
+  Doorbell bell;
+  bell.Arm();
+  EXPECT_FALSE(bell.Wait(/*timeout_us=*/2000));
+}
+
+// A ring with the bell disarmed is swallowed: the consumer's contract is to
+// re-check its mailboxes after Arm() rather than trust a pending ring.
+TEST(MailboxTest, RingWhileDisarmedIsSwallowed) {
+  Doorbell bell;
+  bell.Ring();  // disarmed: no wakeup is recorded
+  bell.Arm();
+  EXPECT_FALSE(bell.Wait(/*timeout_us=*/2000));
+}
+
+}  // namespace
+}  // namespace rt

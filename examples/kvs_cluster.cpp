@@ -8,6 +8,9 @@
 //   $ ./build/kvs_cluster --partitions 4 --threads-per-node   # one worker thread
 //                                               # per shard behind SPSC mailboxes
 //   $ ./build/kvs_cluster --partitions 4 --threads-per-node --pin-cores
+//   $ ./build/kvs_cluster --partitions 4 --threads-per-node --executor-threads 2
+//                                               # + 2 execution lanes per shard
+//                                               # applying commands in parallel
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +30,7 @@ int main(int argc, char** argv) {
   size_t batch_max = 64;
   bool threaded = false;
   bool pin_cores = false;
+  size_t executor_threads = 0;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--partitions") == 0 && i + 1 < argc) {
       partitions = static_cast<uint32_t>(std::atoi(argv[++i]));
@@ -38,16 +42,23 @@ int main(int argc, char** argv) {
       threaded = true;
     } else if (std::strcmp(argv[i], "--pin-cores") == 0) {
       pin_cores = true;
+    } else if (std::strcmp(argv[i], "--executor-threads") == 0 && i + 1 < argc) {
+      executor_threads = static_cast<size_t>(std::atoll(argv[++i]));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--partitions N] [--batch-window-ms N] "
-                   "[--batch-max N] [--threads-per-node] [--pin-cores]\n",
+                   "[--batch-max N] [--threads-per-node] [--pin-cores] "
+                   "[--executor-threads N]\n",
                    argv[0]);
       return 2;
     }
   }
   if (pin_cores && !threaded) {
     std::fprintf(stderr, "--pin-cores requires --threads-per-node\n");
+    return 2;
+  }
+  if (executor_threads > 0 && !threaded) {
+    std::fprintf(stderr, "--executor-threads requires --threads-per-node\n");
     return 2;
   }
   if (partitions < 1 || partitions > smr::ShardedEngine::kMaxPartitions ||
@@ -81,6 +92,10 @@ int main(int argc, char** argv) {
     // shard s -> core s % ncores). Single-driver epoll loop otherwise.
     d.threaded = threaded;
     d.pin_cores = pin_cores;
+    // Parallel execution pipeline: each shard's store becomes a laned store
+    // and an executor pool applies non-conflicting commands concurrently
+    // (ordering stays on the shard worker; see src/exec/exec_pool.h).
+    d.executor_threads = executor_threads;
     replicas.push_back(std::make_unique<smr::Deployment>(std::move(d)));
     nodes.push_back(std::make_unique<rt::Node>(i, addrs, replicas[i].get()));
     if (!nodes.back()->Listen()) {
@@ -88,12 +103,15 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  std::printf("3 ATLAS replicas (P=%u%s) listening on 127.0.0.1:%u..%u\n",
-              partitions,
+  std::printf("3 ATLAS replicas (P=%u%s", partitions,
               threaded ? (pin_cores ? ", thread-per-shard, pinned"
                                     : ", thread-per-shard")
-                       : "",
-              base_port, base_port + kReplicas - 1);
+                       : "");
+  if (executor_threads > 0) {
+    std::printf(", %zu exec lanes/shard", executor_threads);
+  }
+  std::printf(") listening on 127.0.0.1:%u..%u\n", base_port,
+              base_port + kReplicas - 1);
 
   std::vector<std::thread> threads;
   for (uint32_t i = 0; i < kReplicas; i++) {

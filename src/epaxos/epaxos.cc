@@ -143,22 +143,25 @@ void EPaxosEngine::HandlePreAcceptAck(ProcessId from, const msg::EpPreAcceptAck&
     // dead. Committing (fast or slow) here could contradict the recoverer's choice.
     return;
   }
+  // Fold the ack into the running aggregates instead of storing it: the decision
+  // below needs only the union / max over all acks and whether every reply matched
+  // the leader's own (deps, seqno) — which are fixed for the whole collection (set
+  // when the leader processed its own EpPreAccept, mutated again only after the
+  // decision). Storing the acks was the leader-side per-command allocation.
   info.preaccept_acked.Add(from);
-  info.preaccept_acks.push_back(m);
+  info.pre_union_deps.UnionWith(m.deps);
+  info.pre_union_seqno = std::max(info.pre_union_seqno, m.seqno);
+  if (m.deps != info.deps || m.seqno != info.seqno) {
+    info.pre_acks_match = false;
+  }
   if (info.preaccept_acked != info.quorum) {
     return;
   }
 
   if (info.nfr) {
     // NFR read: commit after one round trip to a majority with the union of deps.
-    DepSet deps;
-    uint64_t seqno = 0;
-    for (const auto& ack : info.preaccept_acks) {
-      deps.UnionWith(ack.deps);
-      seqno = std::max(seqno, ack.seqno);
-    }
-    info.deps = std::move(deps);
-    info.seqno = seqno;
+    info.deps = std::move(info.pre_union_deps);
+    info.seqno = info.pre_union_seqno;
     stats_.fast_paths++;
     CommitAndBroadcast(m.dot, info, /*fast_path=*/true);
     return;
@@ -167,28 +170,17 @@ void EPaxosEngine::HandlePreAcceptAck(ProcessId from, const msg::EpPreAcceptAck&
   // EPaxos fast-path condition: every reply matches the leader's own (deps, seq)
   // exactly. The leader processed its own EpPreAccept inline first, so its stored
   // (deps, seqno) are its own contribution; all replies must equal it.
-  bool matching = true;
-  for (const auto& ack : info.preaccept_acks) {
-    if (ack.deps != info.deps || ack.seqno != info.seqno) {
-      matching = false;
-      break;
-    }
-  }
-  if (matching) {
+  if (info.pre_acks_match) {
     stats_.fast_paths++;
     CommitAndBroadcast(m.dot, info, /*fast_path=*/true);
     return;
   }
-  // Slow path: union deps, max seq, then Paxos-Accept with a majority.
+  // Slow path: union deps, max seq, then Paxos-Accept with a majority. The
+  // aggregates are dead after this (further acks are blocked by preaccept_acked),
+  // so the union set is moved out, not copied.
   stats_.slow_paths++;
-  DepSet deps;
-  uint64_t seqno = 0;
-  for (const auto& ack : info.preaccept_acks) {
-    deps.UnionWith(ack.deps);
-    seqno = std::max(seqno, ack.seqno);
-  }
-  RunAcceptPhase(m.dot, info, info.cmd, std::move(deps), seqno,
-                 common::InitialBallot(self_));
+  RunAcceptPhase(m.dot, info, info.cmd, std::move(info.pre_union_deps),
+                 info.pre_union_seqno, common::InitialBallot(self_));
 }
 
 void EPaxosEngine::RunAcceptPhase(const Dot& dot, Info& info, const smr::Command& cmd,
@@ -513,7 +505,13 @@ void EPaxosEngine::StartRecovery(const Dot& dot, Info& info) {
   Ballot b = common::NextRecoveryBallot(self_, std::max(info.bal, info.rec_ballot), n_);
   info.rec_ballot = b;
   info.rec_acked = Quorum();
-  info.rec_acks.clear();
+  // One aggregate per recovering Info, allocated lazily (recovery is cold) and
+  // reset in place for each ballot round.
+  if (info.rec == nullptr) {
+    info.rec = std::make_unique<RecState>();
+  } else {
+    *info.rec = RecState();
+  }
   info.next_recovery_at = ctx_->Now() + config_.recovery_retry_interval;
   msg::EpPrepare prep;
   prep.dot = dot;
@@ -578,8 +576,58 @@ void EPaxosEngine::HandlePrepareAck(ProcessId from, const msg::EpPrepareAck& m) 
   if (info.rec_ballot != m.ballot || info.rec_acked.Contains(from)) {
     return;
   }
+  if (info.rec == nullptr) {
+    return;  // no recovery round live for this ballot (defensive; rec_ballot gated)
+  }
   info.rec_acked.Add(from);
-  info.rec_acks.push_back(m);
+  // Fold the ack into this round's running aggregates (RecState) instead of
+  // storing it: every criterion of the decision below — adopt-any-committed,
+  // highest-ballot accepted, the coordinator-uncommitted proof, the first
+  // non-coordinator pre-accept and whether later peers matched it, the
+  // conservative union, and the majority-fresh conflict union — is computable
+  // one ack at a time. (Ties in accepted_ballot keep first-arrival, matching the
+  // old scan's strict `>` over arrival order.)
+  RecState& rec = *info.rec;
+  switch (static_cast<Phase>(m.phase)) {
+    case Phase::kCommitted:
+      // All committed reports for one dot carry the same decided value.
+      rec.committed = true;
+      rec.committed_cmd = m.cmd;
+      rec.committed_deps = m.deps;
+      rec.committed_seqno = m.seqno;
+      break;
+    case Phase::kAccepted:
+      if (!rec.accepted || m.accepted_ballot > rec.best_abal) {
+        rec.accepted = true;
+        rec.best_abal = m.accepted_ballot;
+        rec.accepted_cmd = m.cmd;
+        rec.accepted_deps = m.deps;
+        rec.accepted_seqno = m.seqno;
+      }
+      break;
+    case Phase::kPreAccepted:
+      if (!rec.any_preaccepted) {
+        rec.any_preaccepted = true;
+        rec.pre_cmd = m.cmd;  // same payload in every pre-accept of one dot
+      }
+      rec.pre_union_deps.UnionWith(m.deps);
+      rec.pre_union_seqno = std::max(rec.pre_union_seqno, m.seqno);
+      if (m.was_initial_coordinator_reply) {
+        rec.coordinator_uncommitted = true;
+      } else if (!rec.have_peer_pre) {
+        rec.have_peer_pre = true;
+        rec.peer_pre_cmd = m.cmd;
+        rec.peer_pre_deps = m.deps;
+        rec.peer_pre_seqno = m.seqno;
+      } else if (m.deps != rec.peer_pre_deps || m.seqno != rec.peer_pre_seqno) {
+        rec.peers_identical = false;
+      }
+      break;
+    case Phase::kNone:
+      break;
+  }
+  rec.fresh_deps.UnionWith(m.fresh_deps);
+  rec.fresh_seqno = std::max(rec.fresh_seqno, m.fresh_seqno);
   if (info.rec_acked.size() != config_.MajoritySize()) {
     // Decide exactly once per ballot, on the first majority. A late ack must not
     // re-run the choice: that could propose a second, different value at the same
@@ -588,30 +636,15 @@ void EPaxosEngine::HandlePrepareAck(ProcessId from, const msg::EpPrepareAck& m) 
   }
   // Committed anywhere -> adopt. Accepted -> re-run Accept with the highest-ballot
   // value. Pre-accepted only -> conservative: union deps / max seq, Accept phase.
-  const msg::EpPrepareAck* committed = nullptr;
-  const msg::EpPrepareAck* accepted = nullptr;
-  bool any_preaccepted = false;
-  for (const auto& ack : info.rec_acks) {
-    auto phase = static_cast<Phase>(ack.phase);
-    if (phase == Phase::kCommitted) {
-      committed = &ack;
-    } else if (phase == Phase::kAccepted &&
-               (accepted == nullptr || ack.accepted_ballot > accepted->accepted_ballot)) {
-      accepted = &ack;
-    } else if (phase == Phase::kPreAccepted) {
-      any_preaccepted = true;
-    }
-  }
-  if (committed != nullptr) {
-    // Copy out of info.rec_acks first: ApplyCommit can execute the command
+  if (rec.committed) {
+    // Move out of the RecState first: ApplyCommit can execute the command
     // immediately, and the executed callback erases infos_[dot] — destroying the
-    // rec_acks vector `committed` points into (and, with DotMap's backward-shift
-    // deletion, possibly moving neighbouring entries too).
+    // Info (and the RecState it owns) the aggregates live in.
     msg::EpCommit commit;
     commit.dot = m.dot;
-    commit.cmd = committed->cmd;
-    commit.deps = committed->deps;
-    commit.seqno = committed->seqno;
+    commit.cmd = std::move(rec.committed_cmd);
+    commit.deps = std::move(rec.committed_deps);
+    commit.seqno = rec.committed_seqno;
     ApplyCommit(m.dot, commit.cmd, commit.deps, commit.seqno, /*fast_path=*/false);
     // Let others know too.
     for (ProcessId p = 0; p < n_; p++) {
@@ -621,12 +654,12 @@ void EPaxosEngine::HandlePrepareAck(ProcessId from, const msg::EpPrepareAck& m) 
     }
     return;
   }
-  if (accepted != nullptr) {
-    RunAcceptPhase(m.dot, info, accepted->cmd, accepted->deps, accepted->seqno,
-                   m.ballot);
+  if (rec.accepted) {
+    RunAcceptPhase(m.dot, info, rec.accepted_cmd, std::move(rec.accepted_deps),
+                   rec.accepted_seqno, m.ballot);
     return;
   }
-  if (any_preaccepted) {
+  if (rec.any_preaccepted) {
     // Split the pre-accept evidence. The original coordinator replying kPreAccepted
     // proves nothing was committed (the coordinator commits first on both paths), so
     // the value choice is free. Without that proof, identical non-coordinator
@@ -635,42 +668,21 @@ void EPaxosEngine::HandlePrepareAck(ProcessId from, const msg::EpPrepareAck& m) 
     // fold in our current conflict index: a command that stalled through a partition
     // must pick up dependencies on everything committed since, or it would execute
     // unordered against those commands on some replicas.
-    bool coordinator_uncommitted = false;
-    const msg::EpPrepareAck* peer_pre = nullptr;
-    bool peers_identical = true;
-    for (const auto& ack : info.rec_acks) {
-      if (static_cast<Phase>(ack.phase) != Phase::kPreAccepted) {
-        continue;
-      }
-      if (ack.was_initial_coordinator_reply) {
-        coordinator_uncommitted = true;
-      } else if (peer_pre == nullptr) {
-        peer_pre = &ack;
-      } else if (ack.deps != peer_pre->deps || ack.seqno != peer_pre->seqno) {
-        peers_identical = false;
-      }
-    }
-    if (peer_pre != nullptr && peers_identical && !coordinator_uncommitted) {
-      RunAcceptPhase(m.dot, info, peer_pre->cmd, peer_pre->deps, peer_pre->seqno,
-                     m.ballot);
+    if (rec.have_peer_pre && rec.peers_identical && !rec.coordinator_uncommitted) {
+      RunAcceptPhase(m.dot, info, rec.peer_pre_cmd, std::move(rec.peer_pre_deps),
+                     rec.peer_pre_seqno, m.ballot);
       return;
     }
-    DepSet deps;
-    uint64_t seqno = 0;
-    smr::Command cmd;
-    for (const auto& ack : info.rec_acks) {
-      if (static_cast<Phase>(ack.phase) == Phase::kPreAccepted) {
-        deps.UnionWith(ack.deps);
-        seqno = std::max(seqno, ack.seqno);
-        cmd = ack.cmd;
-      }
-    }
+    // Locals, not references into the RecState: StartRecovery below resets it.
+    DepSet deps = std::move(rec.pre_union_deps);
+    uint64_t seqno = rec.pre_union_seqno;
+    smr::Command cmd = std::move(rec.pre_cmd);
     if (info.phase == Phase::kNone && !info.rec_cmd_known) {
       // This prepare round ran without the payload (we only just learned it from
       // the acks above), so no replier could report fresh conflicts against it.
       // Choosing a value from stale pre-accept deps alone can miss an ordering
       // edge; stash the command and re-prepare at a higher ballot carrying it.
-      info.cmd = cmd;
+      info.cmd = std::move(cmd);
       info.rec_cmd_known = true;
       StartRecovery(m.dot, info);
       return;
@@ -680,10 +692,8 @@ void EPaxosEngine::HandlePrepareAck(ProcessId from, const msg::EpPrepareAck& m) 
       // current conflicts of the payload, and the recovery majority intersects the
       // quorum behind every conflicting commit — so some ack contributes the edge
       // even when our own index never saw that commit.
-      for (const auto& ack : info.rec_acks) {
-        deps.UnionWith(ack.fresh_deps);
-        seqno = std::max(seqno, ack.fresh_seqno);
-      }
+      deps.UnionWith(rec.fresh_deps);
+      seqno = std::max(seqno, rec.fresh_seqno);
       DepSet local;  // CollectInto clears its output set; union via a scratch
       index_->CollectInto(cmd, m.dot, local);
       deps.UnionWith(local);

@@ -86,6 +86,41 @@ class EPaxosEngine final : public smr::Engine {
  private:
   enum class Phase : uint8_t { kNone, kPreAccepted, kAccepted, kCommitted };
 
+  // Running aggregate of one recovery round's prepare acks. Every criterion of
+  // the multi-criteria decision scan is incrementally computable, so acks are
+  // folded in on arrival and never stored (the old per-round ack vector was a
+  // ROADMAP known allocation). Heap-allocated per recovering Info — recovery is
+  // the cold path — and reset (not reallocated) on each round.
+  struct RecState {
+    // Some ack reported kCommitted: its decided value (all such acks agree).
+    bool committed = false;
+    smr::Command committed_cmd;
+    common::DepSet committed_deps;
+    uint64_t committed_seqno = 0;
+    // Highest-accepted-ballot kAccepted ack (first wins ties, arrival order).
+    bool accepted = false;
+    common::Ballot best_abal = 0;
+    smr::Command accepted_cmd;
+    common::DepSet accepted_deps;
+    uint64_t accepted_seqno = 0;
+    // kPreAccepted evidence: the coordinator-uncommitted proof, the first
+    // non-coordinator reply's exact attributes (plus whether later peers
+    // matched it), and the conservative union.
+    bool any_preaccepted = false;
+    bool coordinator_uncommitted = false;
+    bool have_peer_pre = false;
+    bool peers_identical = true;
+    smr::Command peer_pre_cmd;
+    common::DepSet peer_pre_deps;
+    uint64_t peer_pre_seqno = 0;
+    smr::Command pre_cmd;
+    common::DepSet pre_union_deps;
+    uint64_t pre_union_seqno = 0;
+    // Majority-fresh conflict reports, unioned across every ack.
+    common::DepSet fresh_deps;
+    uint64_t fresh_seqno = 0;
+  };
+
   struct Info {
     Phase phase = Phase::kNone;
     smr::Command cmd;
@@ -95,17 +130,22 @@ class EPaxosEngine final : public smr::Engine {
     common::Ballot abal = 0;
     bool nfr = false;
 
-    // Command-leader state.
+    // Command-leader state. Pre-accept acks are aggregated as they arrive —
+    // the fast-path check needs only "every reply matched my (deps, seqno)",
+    // the NFR/slow paths only the running union and max — so the leader stores
+    // no ack vector (ROADMAP known hot-path allocation, pinned by alloc_test).
     common::Quorum quorum;
     common::Quorum preaccept_acked;
-    std::vector<msg::EpPreAcceptAck> preaccept_acks;
+    common::DepSet pre_union_deps;
+    uint64_t pre_union_seqno = 0;
+    bool pre_acks_match = true;
     common::Ballot proposal_ballot = 0;
     common::Quorum accept_acked;
 
     // Recovery state.
     common::Ballot rec_ballot = 0;
     common::Quorum rec_acked;
-    std::vector<msg::EpPrepareAck> rec_acks;
+    std::unique_ptr<RecState> rec;
     common::Time next_recovery_at = 0;
     // Owned by a dead incarnation of a since-restarted process: stays eligible for
     // the recovery scan even though its owner is no longer suspected.

@@ -1,0 +1,149 @@
+// Executor thread pool: the execution half of the ordering/execution split.
+//
+// Compartmentalized SMR designs (Whittaker et al.) observe that once consensus
+// has fixed a total order, *applying* the ordered commands is an embarrassingly
+// parallel problem for the non-conflicting majority of them. The graph executor
+// keeps emitting commands in its deterministic SCC/batch order; ExecPool fans
+// the emitted stream out to E executor workers, one per commute lane of an
+// exec::LanedStore:
+//
+//   * a command whose keys all hash to one lane is moved into that lane's
+//     bounded SPSC inbox (src/rt/mailbox.h — same recycled-slot rings and
+//     eventfd doorbells as the thread-per-shard runtime) and applied by the
+//     lane's worker thread. Same key => same lane => applied in emission order;
+//     different lanes apply concurrently — exactly the commutation the store
+//     admits, so the final state and digest are byte-identical to inline
+//     execution at every worker count;
+//   * a command spanning lanes (multi-key kScan/kMPut across lanes) is a
+//     barrier: the dispatcher waits for every lane to drain (WaitIdle), applies
+//     the command inline via the store's cross-lane decomposition, and resumes
+//     dispatching. Correct and simple — cross-lane commands are rare under the
+//     paper's workloads, and the barrier preserves the emission-order semantics
+//     a flat store would have given;
+//   * completions {client, seq, value} ride per-lane SPSC outboxes back to the
+//     dispatching thread, which forwards them to the replica's reply path from
+//     Poll(). Reply *order* across lanes is not the inline order — replies are
+//     matched by (client, seq) everywhere — but per-key reply order is.
+//
+// Deadlock freedom with bounded rings mirrors the shard runtime's discipline:
+// the dispatcher never spins on a full lane inbox without draining completions
+// (freeing the lane's outbox, hence the lane, hence eventually the inbox), and
+// a lane stuck pushing a completion re-checks the stop flag so shutdown always
+// breaks the cycle.
+//
+// The pool is also a GraphExecutor::ReadySink, so an executor can emit straight
+// into it (exec_parallel_test drives that seam); the threaded runtime feeds it
+// from the engine's Executed callback instead, which is the same stream one
+// hop later.
+#ifndef SRC_EXEC_EXEC_POOL_H_
+#define SRC_EXEC_EXEC_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/exec/graph_executor.h"
+#include "src/exec/laned_store.h"
+#include "src/rt/mailbox.h"
+#include "src/smr/command.h"
+
+namespace exec {
+
+class ExecPool final : public GraphExecutor::ReadySink {
+ public:
+  struct Options {
+    uint32_t lanes = 1;
+    size_t mailbox_capacity = 1024;  // slots per (dispatcher <-> lane) edge
+    // Completion sink, invoked on the dispatching thread (from Poll/Execute/
+    // WaitIdle) for every applied command with client != 0, plus dropped-lane
+    // noop completions. Required.
+    std::function<void(uint64_t client, uint64_t seq, std::string&& value)>
+        on_completion;
+    // Invoked after each apply, on whichever thread applied (lane worker or
+    // dispatcher for cross-lane); must be thread-safe (atomic counters). May be
+    // null.
+    std::function<void(const smr::Command& cmd)> applied;
+    // Rung by lane workers when a completion lands, so a parked dispatcher
+    // wakes to Poll(). May be null (dispatcher polls anyway).
+    std::function<void()> completion_notify;
+  };
+
+  ExecPool(LanedStore* store, Options opts);
+  ~ExecPool() override;
+
+  void Start();
+  // Quiesces live lanes (all dispatched commands applied), joins every worker,
+  // then delivers any pending completions. Idempotent.
+  void Stop();
+  // Crash drill: stops and joins one lane's worker. Its queued commands are
+  // lost (like a crashed replica's) — the pool must stay live on other lanes
+  // and the dispatcher must never block on the dead lane. Any thread.
+  bool StopOne(uint32_t lane);
+
+  // Dispatcher thread: routes one executed engine-level command (kBatch
+  // composites unpack through `scratch`, reused across calls).
+  void Execute(const smr::Command& cmd, std::vector<smr::Command>& scratch);
+  // GraphExecutor::ReadySink — direct executor->pool emission.
+  void OnReady(const common::Dot& dot, smr::Command&& cmd,
+               uint64_t seqno) override;
+
+  // Dispatcher thread: drains lane completions into on_completion. Returns the
+  // number delivered.
+  size_t Poll();
+  // True if some lane outbox holds completions (park-recheck on the
+  // dispatcher's doorbell).
+  bool HasCompletions() const;
+  // Blocks the dispatcher until every live lane has applied everything
+  // dispatched to it, draining completions while it waits.
+  void WaitIdle();
+
+  uint32_t lanes() const { return static_cast<uint32_t>(lanes_.size()); }
+  bool lane_stopped(uint32_t lane) const {
+    return lanes_[lane]->dead.load(std::memory_order_acquire);
+  }
+  // Barrier count (monitoring: how often cross-lane commands quiesced the pool).
+  uint64_t cross_lane_barriers() const { return cross_lane_barriers_; }
+
+ private:
+  struct LaneItem {
+    smr::Command cmd;
+  };
+  struct LaneDone {
+    uint64_t client = 0;
+    uint64_t seq = 0;
+    std::string value;
+  };
+  struct Lane {
+    explicit Lane(size_t capacity) : inbox(capacity), done(capacity) {}
+    rt::Mailbox<LaneItem> inbox;
+    rt::Mailbox<LaneDone> done;
+    rt::Doorbell bell;
+    std::thread thread;
+    std::atomic<bool> stop{false};
+    std::atomic<bool> dead{false};
+    // applied pairs release (lane, post-apply) with acquire (dispatcher,
+    // WaitIdle): quiescence implies the lane's store writes are visible.
+    alignas(64) std::atomic<uint64_t> applied{0};
+    uint64_t dispatched = 0;  // dispatcher-owned
+  };
+
+  void DispatchOne(smr::Command& cmd);
+  void LaneMain(uint32_t lane_idx);
+  void StopLane(Lane& lane);
+
+  LanedStore* store_;
+  Options opts_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<smr::Command> ready_scratch_;  // OnReady's kBatch unpack buffer
+  bool started_ = false;
+  uint64_t cross_lane_barriers_ = 0;
+};
+
+}  // namespace exec
+
+#endif  // SRC_EXEC_EXEC_POOL_H_

@@ -1,0 +1,95 @@
+#include "src/exec/laned_store.h"
+
+#include "src/common/check.h"
+
+namespace exec {
+
+LanedStore::LanedStore(uint32_t lanes) : lanes_(lanes) {
+  CHECK_GE(lanes_, 1u);
+  stores_.resize(lanes_);
+}
+
+bool LanedStore::SingleLane(const smr::Command& cmd, uint32_t* lane) const {
+  uint32_t l = LaneOfKey(cmd.key);
+  if (lanes_ > 1) {
+    for (const std::string& k : cmd.more_keys) {
+      if (LaneOfKey(k) != l) {
+        return false;
+      }
+    }
+  }
+  *lane = l;
+  return true;
+}
+
+std::string LanedStore::ApplyCrossLane(const smr::Command& cmd) {
+  switch (cmd.op) {
+    case smr::Op::kScan: {
+      // Concatenate in command key order (not lane order) — identical to the
+      // flat store's scan.
+      std::string out;
+      const std::string* v = Lookup(cmd.key);
+      if (v != nullptr) {
+        out += *v;
+      }
+      for (const std::string& k : cmd.more_keys) {
+        const std::string* mv = Lookup(k);
+        if (mv != nullptr) {
+          out += *mv;
+        }
+      }
+      return out;
+    }
+    case smr::Op::kMPut: {
+      std::string_view value(cmd.value.data(), cmd.value.size());
+      stores_[LaneOfKey(cmd.key)].Put(cmd.key, value);
+      for (const std::string& k : cmd.more_keys) {
+        stores_[LaneOfKey(k)].Put(k, value);
+      }
+      return "";
+    }
+    default:
+      // Single-key ops never span lanes; route to the primary key's lane.
+      return stores_[LaneOfKey(cmd.key)].Apply(cmd);
+  }
+}
+
+std::string LanedStore::Apply(const smr::Command& cmd) {
+  if (cmd.is_noop()) {
+    return "";
+  }
+  if (cmd.is_batch()) {
+    // Composite submission batch, same semantics as KvStore::Apply(kBatch):
+    // sub-commands apply in encoded order (sequential here — the inline path).
+    std::vector<smr::Command> subs;
+    if (smr::UnpackBatch(cmd, subs)) {
+      for (const smr::Command& sub : subs) {
+        Apply(sub);
+      }
+    }
+    return "";
+  }
+  uint32_t lane = 0;
+  if (SingleLane(cmd, &lane)) {
+    return ApplyOnLane(lane, cmd);
+  }
+  return ApplyCrossLane(cmd);
+}
+
+uint64_t LanedStore::StateDigest() const {
+  uint64_t digest = 0;
+  for (const kvs::KvStore& s : stores_) {
+    digest ^= s.StateDigest();
+  }
+  return digest;
+}
+
+size_t LanedStore::size() const {
+  size_t total = 0;
+  for (const kvs::KvStore& s : stores_) {
+    total += s.size();
+  }
+  return total;
+}
+
+}  // namespace exec

@@ -11,12 +11,12 @@ std::string KvStore::Apply(const smr::Command& cmd) {
       return it == map_.end() ? "" : it->second;
     }
     case smr::Op::kPut:
-      map_[cmd.key] = cmd.value;
+      map_[cmd.key].assign(cmd.value.data(), cmd.value.size());
       return "";
     case smr::Op::kRmw: {
       std::string& v = map_[cmd.key];
       std::string prev = v;
-      v += cmd.value;
+      v.append(cmd.value.data(), cmd.value.size());
       return prev;
     }
     case smr::Op::kScan: {
@@ -34,9 +34,9 @@ std::string KvStore::Apply(const smr::Command& cmd) {
       return out;
     }
     case smr::Op::kMPut: {
-      map_[cmd.key] = cmd.value;
+      map_[cmd.key].assign(cmd.value.data(), cmd.value.size());
       for (const auto& k : cmd.more_keys) {
-        map_[k] = cmd.value;
+        map_[k].assign(cmd.value.data(), cmd.value.size());
       }
       return "";
     }

@@ -105,7 +105,7 @@ Command MakeBatch(const std::vector<Command>& cmds) {
 }
 
 void MakeBatchInto(const std::vector<Command>& cmds, codec::Writer& scratch,
-                   Command& out) {
+                   Command& out, PayloadPool* pool) {
   CHECK(!cmds.empty());
   out.client = 0;
   out.seq = 0;
@@ -117,7 +117,13 @@ void MakeBatchInto(const std::vector<Command>& cmds, codec::Writer& scratch,
     CHECK(!c.is_noop());   // noOps conflict with everything; never batched
     c.EncodeTo(scratch);
   }
-  out.value.assign(scratch.buffer().begin(), scratch.buffer().end());
+  std::string_view encoded(reinterpret_cast<const char*>(scratch.buffer().data()),
+                           scratch.size());
+  if (pool != nullptr) {
+    out.value = pool->Make(encoded);
+  } else {
+    out.value.Assign(encoded.data(), encoded.size());
+  }
   // Deduplicated union of sub-command keys, sized once up front; batches are
   // small, so the quadratic scan beats building a hash set.
   size_t max_keys = 0;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/codec/codec.h"
+#include "src/smr/payload.h"
 
 namespace smr {
 
@@ -39,7 +40,11 @@ struct Command {
   Op op = Op::kNoOp;
   std::string key;                      // primary key (unused for kNoOp)
   std::vector<std::string> more_keys;   // extra keys for kScan / kMPut
-  std::string value;                    // payload for writes; ignored for reads
+  // Payload for writes; ignored for reads. Values above the SSO threshold are
+  // refcounted (src/smr/payload.h), so the many copies a command undergoes —
+  // protocol state, message fan-out, executor nodes, mailbox slots, the
+  // executor-pool handoff — share one buffer instead of reallocating it.
+  Payload value;
 
   bool is_noop() const { return op == Op::kNoOp; }
   bool is_read() const { return op == Op::kGet || op == Op::kScan; }
@@ -63,7 +68,7 @@ struct Command {
     for (const auto& k : more_keys) {
       w.Bytes(k);
     }
-    w.Bytes(value);
+    w.Bytes(value.view());
   }
   void Encode(codec::Writer& w) const { EncodeTo(w); }
   static Command Decode(codec::Reader& r);
@@ -88,9 +93,11 @@ Command MakeBatch(const std::vector<Command>& cmds);
 // Rebuilds `out` as the kBatch composite of `cmds`, encoding through `scratch`
 // (cleared first, capacity kept). The batching hot path calls this once per flush
 // with a per-shard scratch writer, so the encode buffer never reallocates once
-// warm; `out` is fully overwritten.
+// warm; `out` is fully overwritten. With `pool` set, the composite payload lands
+// in a recycled PayloadPool buffer instead of a fresh string — the last
+// per-flush allocation on the batching hot path (pinned by alloc_test).
 void MakeBatchInto(const std::vector<Command>& cmds, codec::Writer& scratch,
-                   Command& out);
+                   Command& out, PayloadPool* pool = nullptr);
 
 // Decodes a kBatch's sub-commands into `out` (cleared first). Returns false if
 // `batch` is not a well-formed batch. `out` reuses its capacity across calls.

@@ -110,12 +110,26 @@ Deployment::Deployment(DeploymentOptions opts)
   }
   CHECK(engine_ != nullptr);
   for (uint32_t s = 0; s < opts_.partitions; s++) {
-    stores_.push_back(opts_.state_machine_factory != nullptr
-                          ? opts_.state_machine_factory()
-                          : std::make_unique<kvs::KvStore>());
+    if (opts_.executor_threads > 0) {
+      // Parallel execution pipeline: lane-partitioned store per shard. Lane
+      // decomposition is defined on kvs::KvStore operations, so the laned
+      // configuration and a custom service replica do not compose (yet).
+      CHECK(opts_.state_machine_factory == nullptr);
+      auto laned = std::make_unique<exec::LanedStore>(
+          static_cast<uint32_t>(opts_.executor_threads));
+      laned_.push_back(laned.get());
+      stores_.push_back(std::move(laned));
+    } else {
+      stores_.push_back(opts_.state_machine_factory != nullptr
+                            ? opts_.state_machine_factory()
+                            : std::make_unique<kvs::KvStore>());
+    }
     CHECK(stores_.back() != nullptr);
   }
-  applied_counts_.assign(opts_.partitions, 0);
+  applied_counts_ = std::make_unique<std::atomic<uint64_t>[]>(opts_.partitions);
+  for (uint32_t s = 0; s < opts_.partitions; s++) {
+    applied_counts_[s].store(0, std::memory_order_relaxed);
+  }
 }
 
 Deployment::~Deployment() = default;

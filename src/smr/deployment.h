@@ -25,12 +25,14 @@
 #ifndef SRC_SMR_DEPLOYMENT_H_
 #define SRC_SMR_DEPLOYMENT_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
 
 #include "src/common/check.h"
 #include "src/common/types.h"
+#include "src/exec/laned_store.h"
 #include "src/smr/command.h"
 #include "src/smr/conflict_index.h"
 #include "src/smr/engine.h"
@@ -94,6 +96,18 @@ struct DeploymentOptions {
   bool threaded = false;
   bool pin_cores = false;
   size_t mailbox_capacity = 8192;  // slots per (I/O <-> shard) mailbox edge
+
+  // Parallel execution pipeline (ordering/execution split): with
+  // executor_threads > 0 each shard's store becomes an exec::LanedStore with
+  // that many commute lanes, and the *threaded* runtime applies non-conflicting
+  // commands concurrently on a per-shard executor pool (src/exec/exec_pool.h).
+  // Single-threaded drivers (the simulator, the non-threaded runtime) honor the
+  // laned store but apply inline through it — a deterministic fallback with
+  // byte-identical state and digests at every thread count. 0 keeps plain
+  // per-shard stores and inline execution (byte-identical to the seed; the
+  // determinism pins rely on this). Requires the default kvs::KvStore service
+  // (lane decomposition is defined on its operations).
+  size_t executor_threads = 0;
 };
 
 class Deployment {
@@ -120,9 +134,28 @@ class Deployment {
 
   // Per-shard service replica and its applied-command count (non-noop commands,
   // the per-shard executed_count used for digest comparability between replicas).
+  // The counts are atomics because executor-pool lanes bump them from their own
+  // threads (single-threaded drivers pay one relaxed add, nothing observable).
   StateMachine& store(uint32_t shard = 0) { return *stores_[shard]; }
   const StateMachine& store(uint32_t shard = 0) const { return *stores_[shard]; }
-  uint64_t applied_count(uint32_t shard = 0) const { return applied_counts_[shard]; }
+  uint64_t applied_count(uint32_t shard = 0) const {
+    return applied_counts_[shard].load(std::memory_order_acquire);
+  }
+
+  // The shard's store as a lane-partitioned store, or nullptr when
+  // executor_threads == 0 (plain store, inline execution). The threaded
+  // runtime hands this to the shard's exec::ExecPool.
+  exec::LanedStore* laned_store(uint32_t shard) const {
+    return laned_.empty() ? nullptr : laned_[shard];
+  }
+
+  // Post-apply accounting for executor pools, callable from lane threads:
+  // the inline Apply* paths below count through the same atomics.
+  void CountApplied(uint32_t shard, const Command& cmd) {
+    if (!cmd.is_noop()) {
+      applied_counts_[shard].fetch_add(1, std::memory_order_release);
+    }
+  }
 
   // Engine stats: aggregate over the replica, and per partition. shard_engine
   // exposes the inner engine for protocol-specific introspection (downcasts in
@@ -222,9 +255,7 @@ class Deployment {
   template <class Fn>
   void ApplyOneShard(uint32_t shard, const Command& cmd, Fn&& fn) {
     std::string result = stores_[shard]->Apply(cmd);
-    if (!cmd.is_noop()) {
-      applied_counts_[shard]++;
-    }
+    CountApplied(shard, cmd);
     fn(shard, cmd, std::move(result));
   }
 
@@ -233,7 +264,9 @@ class Deployment {
   std::unique_ptr<Engine> engine_;
   ShardedEngine* sharded_ = nullptr;  // engine_ downcast when partitions > 1
   std::vector<std::unique_ptr<StateMachine>> stores_;
-  std::vector<uint64_t> applied_counts_;
+  // stores_ downcasts when executor_threads > 0 (empty otherwise).
+  std::vector<exec::LanedStore*> laned_;
+  std::unique_ptr<std::atomic<uint64_t>[]> applied_counts_;
   std::vector<Command> exec_scratch_;    // kBatch unpack reuse (execute path)
   std::vector<Command> commit_scratch_;  // ... commit-notification path
 };

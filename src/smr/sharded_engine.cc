@@ -110,7 +110,7 @@ void ShardedEngine::Flush(uint32_t shard) {
     shards_[shard]->Submit(std::move(buf[0]));
   } else {
     Command batch;
-    MakeBatchInto(buf, batch_writers_[shard], batch);
+    MakeBatchInto(buf, batch_writers_[shard], batch, &batch_pool_);
     shards_[shard]->Submit(std::move(batch));
   }
   buf.clear();

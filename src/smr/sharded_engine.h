@@ -104,6 +104,10 @@ class ShardedEngine final : public Engine {
   // encoded through a reused writer so flushing never regrows a fresh buffer
   // (ROADMAP known-allocation, pinned by alloc_test).
   std::vector<codec::Writer> batch_writers_;
+  // Recycled buffers for the composite payloads themselves: the one string a
+  // flush still assigned lands in a pooled refcounted buffer that is reused
+  // once the batch command's copies die (pinned by alloc_test).
+  PayloadPool batch_pool_;
   // Single round-robin drain timer for all shards: armed by the first command
   // buffered anywhere while unarmed, it flushes every shard's pending batch
   // when it fires. One timer per window regardless of P — per-shard windows

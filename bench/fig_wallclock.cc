@@ -41,7 +41,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -68,6 +70,7 @@ struct PointSpec {
   double warmup_sec = 1.0;
   double measure_sec = 4.0;
   uint16_t port_base = 0;
+  std::string data_dir;  // non-empty = durable replicas (commit log + snapshots)
 };
 
 struct PointResult {
@@ -102,10 +105,19 @@ PointResult RunPoint(const PointSpec& spec) {
     d.threaded = true;
     d.executor_threads = spec.executor_threads;
     std::vector<std::unique_ptr<smr::Deployment>> replicas;
+    if (!spec.data_dir.empty()) {
+      // Fresh subtree per attempt so a retried bind never recovers the state a
+      // failed attempt logged.
+      d.data_dir = spec.data_dir + "/try" + std::to_string(attempt);
+    }
     std::vector<std::unique_ptr<rt::Node>> nodes;
     bool bind_ok = true;
     for (uint32_t i = 0; i < kNodes; i++) {
-      replicas.push_back(std::make_unique<smr::Deployment>(d));
+      smr::DeploymentOptions di = d;
+      if (!di.data_dir.empty()) {
+        di.data_dir += "/site-" + std::to_string(i);
+      }
+      replicas.push_back(std::make_unique<smr::Deployment>(std::move(di)));
       nodes.push_back(std::make_unique<rt::Node>(i, addrs, replicas[i].get()));
       if (!nodes.back()->Listen()) {
         bind_ok = false;
@@ -258,6 +270,10 @@ int main(int argc, char** argv) {
   bench::BenchJsonWriter json("wallclock");
   bool all_ok = true;
   uint16_t port_block = 47000;
+  // Throwaway root for the durability points' logs/snapshots.
+  char dur_template[] = "/tmp/atlas_wallclock_dur_XXXXXX";
+  const char* mk = mkdtemp(dur_template);
+  const std::string dur_root = mk != nullptr ? mk : "/tmp/atlas_wallclock_dur";
   for (const Proto& proto : protos) {
     double tp[9] = {0};  // throughput indexed by P
     for (uint32_t partitions : sweep) {
@@ -328,10 +344,42 @@ int main(int argc, char** argv) {
                     proto.name, partitions);
       json.Add(name, 0, 0, vs_base);
     }
+
+    // The durability column: the P=4 point again with the per-shard commit
+    // log + snapshots on (batched fsync, the default). Records what
+    // persistence costs end to end on this host's filesystem; warn-only in
+    // bench_check — raw fsync behaviour is too host-dependent to gate.
+    {
+      PointSpec spec;
+      spec.protocol = proto.protocol;
+      spec.proto_name = proto.name;
+      spec.partitions = 4;
+      spec.window = kWindowPerPartition * 4;
+      spec.warmup_sec = warmup_sec;
+      spec.measure_sec = measure_sec;
+      spec.port_base = port_block;
+      port_block = static_cast<uint16_t>(port_block + 24);
+      spec.data_dir = dur_root + "/" + proto.name;
+      PointResult r = RunPoint(spec);
+      all_ok = all_ok && r.ok;
+      double vs_inline = tp[4] > 0 ? r.throughput / tp[4] : 0;
+      std::printf(
+          "%-8s  4+dur %6zu  %10.0f  %7.1fms  %7.1fms  %7.1fms  (%.2fx "
+          "inline, fsync=batch)\n",
+          proto.name, spec.window * kNodes, r.throughput, r.p50_ms, r.p95_ms,
+          r.p99_ms, vs_inline);
+      std::snprintf(name, sizeof(name), "wallclock_%s_p4_durable", proto.name);
+      json.Add(name, r.p50_ms * 1e6, 0, r.throughput);
+      std::snprintf(name, sizeof(name), "wallclock_%s_p4_durable_vs_inline",
+                    proto.name);
+      json.Add(name, 0, 0, vs_inline);
+    }
   }
   // Provenance: P>1 speedups are amortization-only below ~4 cores (see header).
   json.Add("wallclock_host_cores", 0, 0,
            static_cast<double>(std::thread::hardware_concurrency()));
   json.WriteOut();
+  std::error_code ec;
+  std::filesystem::remove_all(dur_root, ec);
   return all_ok ? 0 : 1;
 }

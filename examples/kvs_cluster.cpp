@@ -11,6 +11,10 @@
 //   $ ./build/kvs_cluster --partitions 4 --threads-per-node --executor-threads 2
 //                                               # + 2 execution lanes per shard
 //                                               # applying commands in parallel
+//   $ ./build/kvs_cluster --data-dir /tmp/kvs   # durable: per-shard commit log +
+//                                               # snapshots under <dir>/site-N/;
+//                                               # rerun with the same dir to
+//                                               # recover the store from disk
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +35,7 @@ int main(int argc, char** argv) {
   bool threaded = false;
   bool pin_cores = false;
   size_t executor_threads = 0;
+  std::string data_dir;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--partitions") == 0 && i + 1 < argc) {
       partitions = static_cast<uint32_t>(std::atoi(argv[++i]));
@@ -44,11 +49,13 @@ int main(int argc, char** argv) {
       pin_cores = true;
     } else if (std::strcmp(argv[i], "--executor-threads") == 0 && i + 1 < argc) {
       executor_threads = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      data_dir = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--partitions N] [--batch-window-ms N] "
                    "[--batch-max N] [--threads-per-node] [--pin-cores] "
-                   "[--executor-threads N]\n",
+                   "[--executor-threads N] [--data-dir DIR]\n",
                    argv[0]);
       return 2;
     }
@@ -96,6 +103,13 @@ int main(int argc, char** argv) {
     // and an executor pool applies non-conflicting commands concurrently
     // (ordering stays on the shard worker; see src/exec/exec_pool.h).
     d.executor_threads = executor_threads;
+    if (!data_dir.empty()) {
+      // Durable replicas: every executed command is logged (batched fsync)
+      // under <data_dir>/site-N/shard-M/ and snapshots bound replay length.
+      // A rerun with the same --data-dir recovers the stores from disk before
+      // joining the mesh.
+      d.data_dir = data_dir + "/site-" + std::to_string(i);
+    }
     replicas.push_back(std::make_unique<smr::Deployment>(std::move(d)));
     nodes.push_back(std::make_unique<rt::Node>(i, addrs, replicas[i].get()));
     if (!nodes.back()->Listen()) {
@@ -109,6 +123,9 @@ int main(int argc, char** argv) {
                        : "");
   if (executor_threads > 0) {
     std::printf(", %zu exec lanes/shard", executor_threads);
+  }
+  if (!data_dir.empty()) {
+    std::printf(", durable in %s", data_dir.c_str());
   }
   std::printf(") listening on 127.0.0.1:%u..%u\n", base_port,
               base_port + kReplicas - 1);

@@ -1,0 +1,111 @@
+// Per-shard append-only commit log: segmented, CRC-framed, fsync-batched.
+//
+// The executor emits commands in a deterministic per-shard order; the log
+// records exactly that emission order as (dot, command) records, so replay
+// reproduces the store state the shard had (same order => same state, and the
+// order is conflict-compatible across replicas by the SMR guarantee). Appends
+// buffer in user space and flush in batches behind the ordering fast path —
+// durability policy (FsyncMode) decides when the OS is forced to stabilize
+// them, it never blocks ordering.
+//
+// On-disk format, per segment file (log-%08llu.seg, rolled by size):
+//   record := [u32 len][u32 crc32(payload)][payload]
+//   payload := dot(varint proc, varint seq) ++ smr::Command encoding
+// A torn or corrupt record poisons the rest of its segment: replay stops at
+// the first bad frame, and Open() truncates trailing garbage off the last
+// segment so appends resume at a clean boundary. Completed segments are
+// retained (not GC'd) — peers stream catch-up from the full log, and the
+// snapshot only bounds *local* replay via its recorded position.
+#ifndef SRC_DUR_COMMIT_LOG_H_
+#define SRC_DUR_COMMIT_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/codec/codec.h"
+#include "src/common/types.h"
+#include "src/smr/command.h"
+
+namespace dur {
+
+// When appended records are forced to stable storage:
+//   kNone   — never fsync'd (page cache only; survives process death, not
+//             power loss). The fastest mode; what the benches compare against.
+//   kBatch  — fsync every `fsync_every` appends (bounded-loss window).
+//   kAlways — fsync every append (no loss window; the slow, safe mode).
+enum class FsyncMode : uint8_t { kNone = 0, kBatch = 1, kAlways = 2 };
+
+const char* FsyncModeName(FsyncMode m);
+
+class CommitLog {
+ public:
+  struct Options {
+    FsyncMode fsync_mode = FsyncMode::kBatch;
+    size_t fsync_every = 64;            // kBatch: appends per fsync
+    size_t segment_bytes = 8u << 20;    // roll threshold
+    size_t flush_bytes = 64u * 1024;    // user-space buffer flush threshold
+  };
+
+  // A record boundary: (segment sequence number, byte offset within it).
+  struct Position {
+    uint64_t segment = 1;
+    uint64_t offset = 0;
+  };
+
+  CommitLog(std::string dir, Options opts);
+  ~CommitLog();
+
+  CommitLog(const CommitLog&) = delete;
+  CommitLog& operator=(const CommitLog&) = delete;
+
+  // Scans `dir` for segments, validates the last one's tail (truncating torn
+  // records), and positions appends after the last valid record. Returns
+  // false when the directory is unusable.
+  bool Open();
+
+  // Appends one record (buffered; flushed/synced per Options policy).
+  void Append(const common::Dot& dot, const smr::Command& cmd);
+
+  // Writes buffered bytes to the file (no fsync).
+  void Flush();
+  // Flush + fsync.
+  void Sync();
+
+  // Position just past the last appended record.
+  Position position() const { return Position{cur_segment_, cur_offset_}; }
+  Position begin() const { return Position{first_segment_, 0}; }
+  uint64_t records() const { return records_; }
+
+  using ReplayFn =
+      std::function<void(const common::Dot& dot, const smr::Command& cmd)>;
+
+  // Delivers every valid record from `from` (a record boundary) in log order,
+  // stopping at the first torn/corrupt frame. Flushes buffered appends first
+  // so the files are current. Returns records delivered.
+  size_t ReplayFrom(const Position& from, const ReplayFn& fn);
+  size_t Replay(const ReplayFn& fn) { return ReplayFrom(begin(), fn); }
+
+ private:
+  std::string SegPath(uint64_t seg) const;
+  bool OpenAppendFd();
+  void RollIfNeeded();
+  // Valid prefix length of the segment file at `path`.
+  uint64_t ValidPrefix(const std::string& path) const;
+
+  std::string dir_;
+  Options opts_;
+  uint64_t first_segment_ = 1;
+  uint64_t cur_segment_ = 1;
+  uint64_t cur_offset_ = 0;  // valid bytes incl. user-space buffered ones
+  uint64_t records_ = 0;     // appended this incarnation
+  int fd_ = -1;
+  std::vector<uint8_t> buf_;        // frames awaiting write()
+  codec::Writer payload_scratch_;   // per-record payload encode reuse
+  size_t appends_since_sync_ = 0;
+};
+
+}  // namespace dur
+
+#endif  // SRC_DUR_COMMIT_LOG_H_

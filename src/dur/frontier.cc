@@ -1,0 +1,75 @@
+#include "src/dur/frontier.h"
+
+namespace dur {
+
+bool DotFrontier::Covers(const common::Dot& d) const {
+  if (d.proc < floors_.size() && d.seq <= floors_[d.proc]) {
+    return true;
+  }
+  return extras_.find(d) != extras_.end();
+}
+
+bool DotFrontier::Insert(const common::Dot& d) {
+  if (Covers(d)) {
+    return false;
+  }
+  if (d.proc >= floors_.size()) {
+    floors_.resize(d.proc + 1, 0);
+  }
+  uint64_t& floor = floors_[d.proc];
+  if (d.seq != floor + 1) {
+    extras_.insert(d);
+    return true;
+  }
+  // Contiguous: advance the floor and absorb any overlay dots it now covers.
+  floor = d.seq;
+  auto it = extras_.find(common::Dot{d.proc, floor + 1});
+  while (it != extras_.end()) {
+    extras_.erase(it);
+    floor++;
+    it = extras_.find(common::Dot{d.proc, floor + 1});
+  }
+  return true;
+}
+
+void DotFrontier::Clear() {
+  floors_.clear();
+  extras_.clear();
+}
+
+void DotFrontier::EncodeTo(codec::Writer& w) const {
+  w.Varint(floors_.size());
+  for (uint64_t f : floors_) {
+    w.Varint(f);
+  }
+  w.Varint(extras_.size());
+  for (const common::Dot& d : extras_) {
+    w.Dot(d);
+  }
+}
+
+bool DotFrontier::DecodeFrom(codec::Reader& r) {
+  Clear();
+  uint64_t nf = r.Varint();
+  if (!r.ok() || nf > r.remaining() + 1) {
+    return false;
+  }
+  floors_.reserve(nf);
+  for (uint64_t i = 0; i < nf; i++) {
+    floors_.push_back(r.Varint());
+  }
+  uint64_t ne = r.Varint();
+  if (!r.ok() || ne > r.remaining() + 1) {
+    return false;
+  }
+  for (uint64_t i = 0; i < ne; i++) {
+    extras_.insert(r.Dot());
+  }
+  if (!r.ok()) {
+    Clear();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dur

@@ -1,0 +1,52 @@
+// Executed-dot frontier: the durable "what has this shard already applied"
+// watermark.
+//
+// Catch-up and restart dedup cannot be log-sequence based: two replicas emit
+// non-conflicting commands in different per-shard orders, so "my log has N
+// entries" says nothing a peer can act on. Dots (proc, seq identifiers minted
+// at submission) are the stable names commands keep across replicas, so the
+// frontier is a dot set: a per-process floor (every seq <= floor executed)
+// plus a sparse overlay of executed dots above their floor (out-of-order
+// execution, or protocols like Mencius whose per-process slot numbers stride).
+// Insert compacts the overlay into the floor whenever it becomes contiguous.
+#ifndef SRC_DUR_FRONTIER_H_
+#define SRC_DUR_FRONTIER_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "src/codec/codec.h"
+#include "src/common/types.h"
+
+namespace dur {
+
+class DotFrontier {
+ public:
+  // True iff `d` was already inserted.
+  bool Covers(const common::Dot& d) const;
+
+  // Marks `d` executed. Returns false (no state change) when already covered —
+  // the duplicate-delivery filter.
+  bool Insert(const common::Dot& d);
+
+  void Clear();
+  bool Empty() const { return floors_.empty() && extras_.empty(); }
+  uint64_t floor(common::ProcessId p) const {
+    return p < floors_.size() ? floors_[p] : 0;
+  }
+  size_t extras() const { return extras_.size(); }
+
+  // Self-delimiting encoding (floors then extras); DecodeFrom consumes exactly
+  // what EncodeTo wrote and returns false on malformed input.
+  void EncodeTo(codec::Writer& w) const;
+  bool DecodeFrom(codec::Reader& r);
+
+ private:
+  std::vector<uint64_t> floors_;  // floors_[p]: all of p's seqs 1..floor executed
+  std::unordered_set<common::Dot, common::DotHash> extras_;
+};
+
+}  // namespace dur
+
+#endif  // SRC_DUR_FRONTIER_H_

@@ -1,0 +1,154 @@
+#include "src/dur/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <vector>
+
+#include "src/codec/codec.h"
+#include "src/dur/crc32.h"
+
+namespace dur {
+
+namespace {
+
+constexpr uint32_t kSnapMagic = 0x4e535441u;   // 'ATSN' little-endian
+constexpr uint32_t kFloorMagic = 0x4c465441u;  // 'ATFL'
+constexpr uint8_t kVersion = 1;
+
+// Writes `payload` to <dir>/<name> atomically with a
+// [u32 magic][u8 version][u32 crc][payload] envelope.
+bool WriteAtomic(const std::string& dir, const char* name, uint32_t magic,
+                 const std::vector<uint8_t>& payload) {
+  codec::Writer w;
+  w.U32(magic);
+  w.U8(kVersion);
+  w.U32(Crc32(payload.data(), payload.size()));
+  std::string tmp = dir + "/" + name + ".tmp";
+  std::string final_path = dir + "/" + name;
+  int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return false;
+  }
+  auto write_all = [fd](const uint8_t* p, size_t left) {
+    while (left > 0) {
+      ssize_t n = ::write(fd, p, left);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return false;
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return true;
+  };
+  bool ok = write_all(w.buffer().data(), w.buffer().size()) &&
+            write_all(payload.data(), payload.size());
+  if (ok) {
+    ok = ::fsync(fd) == 0;
+  }
+  ::close(fd);
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Loads and envelope-checks <dir>/<name>; on success `payload` holds the
+// verified payload bytes.
+bool LoadVerified(const std::string& dir, const char* name, uint32_t magic,
+                  std::vector<uint8_t>& payload) {
+  std::string path = dir + "/" + name;
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return false;
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t chunk[64 * 1024];
+  for (;;) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) {
+      break;
+    }
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+  constexpr size_t kEnvelope = 9;  // u32 magic + u8 version + u32 crc
+  if (bytes.size() < kEnvelope) {
+    return false;
+  }
+  codec::Reader r(bytes.data(), kEnvelope);
+  if (r.U32() != magic || r.U8() != kVersion) {
+    return false;
+  }
+  uint32_t crc = r.U32();
+  if (!r.ok() ||
+      Crc32(bytes.data() + kEnvelope, bytes.size() - kEnvelope) != crc) {
+    return false;
+  }
+  payload.assign(bytes.begin() + kEnvelope, bytes.end());
+  return true;
+}
+
+}  // namespace
+
+bool WriteSnapshotFile(const std::string& dir, const SnapshotMeta& meta) {
+  codec::Writer w;
+  w.Varint(meta.applied_count);
+  w.Varint(meta.exec_floor);
+  w.Varint(meta.log_pos.segment);
+  w.Varint(meta.log_pos.offset);
+  meta.frontier.EncodeTo(w);
+  w.Bytes(meta.store_blob);
+  return WriteAtomic(dir, "snap.bin", kSnapMagic, w.buffer());
+}
+
+bool LoadSnapshotFile(const std::string& dir, SnapshotMeta& meta) {
+  std::vector<uint8_t> payload;
+  if (!LoadVerified(dir, "snap.bin", kSnapMagic, payload)) {
+    return false;
+  }
+  codec::Reader r(payload.data(), payload.size());
+  meta.applied_count = r.Varint();
+  meta.exec_floor = r.Varint();
+  meta.log_pos.segment = r.Varint();
+  meta.log_pos.offset = r.Varint();
+  if (!meta.frontier.DecodeFrom(r)) {
+    return false;
+  }
+  meta.store_blob = r.Bytes();
+  return r.ok();
+}
+
+bool WriteFloorsFile(const std::string& dir, const FloorRecord& rec) {
+  codec::Writer w;
+  w.Varint(rec.seq_floor);
+  return WriteAtomic(dir, "floors.bin", kFloorMagic, w.buffer());
+}
+
+bool LoadFloorsFile(const std::string& dir, FloorRecord& rec) {
+  std::vector<uint8_t> payload;
+  if (!LoadVerified(dir, "floors.bin", kFloorMagic, payload)) {
+    return false;
+  }
+  codec::Reader r(payload.data(), payload.size());
+  rec.seq_floor = r.Varint();
+  return r.ok();
+}
+
+}  // namespace dur

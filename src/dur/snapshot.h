@@ -1,0 +1,57 @@
+// Atomic snapshot and floor files.
+//
+// A snapshot captures a shard's applied state (store blob via
+// StateMachine::SnapshotTo), the executed-dot frontier, the applied op count,
+// and the commit-log position the snapshot corresponds to — recovery restores
+// the blob and replays only the log tail past that position. Files are
+// written tmp + fsync + rename so a crash mid-write leaves the previous
+// snapshot intact, and the payload is CRC-framed so a corrupt file is
+// rejected (falling back to full-log replay) rather than restored.
+//
+// The floors file is a tiny separately-updated record of reserved sequence
+// floors (see ShardDurability::PersistFloors): it must survive crashes that
+// happen between snapshots, so it gets its own atomic file instead of riding
+// in the snapshot.
+#ifndef SRC_DUR_SNAPSHOT_H_
+#define SRC_DUR_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/dur/commit_log.h"
+#include "src/dur/frontier.h"
+
+namespace dur {
+
+struct SnapshotMeta {
+  uint64_t applied_count = 0;
+  // Engine execution frontier at snapshot time (e.g. Mencius execute_upto_;
+  // 0 for engines without one). Restored into RestartHint::exec_floor so a
+  // recovered total-order engine resumes executing where the snapshot left
+  // off instead of revoking its way up from slot 0. Safe to persist here —
+  // and only here — because WriteSnapshot syncs the log first: every slot
+  // below the frontier is already on disk, so a crash can never leave the
+  // frontier ahead of the recovered store.
+  uint64_t exec_floor = 0;
+  CommitLog::Position log_pos;  // replay resumes here
+  DotFrontier frontier;
+  std::string store_blob;  // opaque StateMachine::SnapshotTo bytes
+};
+
+// Writes `meta` to <dir>/snap.bin atomically. Returns false on I/O failure
+// (the previous snapshot, if any, is left untouched).
+bool WriteSnapshotFile(const std::string& dir, const SnapshotMeta& meta);
+
+// Loads <dir>/snap.bin. Returns false when absent, torn, or corrupt.
+bool LoadSnapshotFile(const std::string& dir, SnapshotMeta& meta);
+
+struct FloorRecord {
+  uint64_t seq_floor = 0;
+};
+
+bool WriteFloorsFile(const std::string& dir, const FloorRecord& rec);
+bool LoadFloorsFile(const std::string& dir, FloorRecord& rec);
+
+}  // namespace dur
+
+#endif  // SRC_DUR_SNAPSHOT_H_

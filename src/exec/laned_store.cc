@@ -1,57 +1,36 @@
 #include "src/exec/laned_store.h"
 
 #include "src/common/check.h"
+#include "src/kvs/kvs.h"
 
 namespace exec {
 
-LanedStore::LanedStore(uint32_t lanes) : lanes_(lanes) {
+LanedStore::LanedStore(
+    uint32_t lanes,
+    const std::function<std::unique_ptr<smr::StateMachine>()>& factory)
+    : lanes_(lanes) {
   CHECK_GE(lanes_, 1u);
-  stores_.resize(lanes_);
+  stores_.reserve(lanes_);
+  for (uint32_t l = 0; l < lanes_; l++) {
+    stores_.push_back(factory != nullptr ? factory()
+                                         : std::make_unique<kvs::KvStore>());
+    CHECK(stores_.back() != nullptr);
+  }
 }
 
 bool LanedStore::SingleLane(const smr::Command& cmd, uint32_t* lane) const {
-  uint32_t l = LaneOfKey(cmd.key);
-  if (lanes_ > 1) {
-    for (const std::string& k : cmd.more_keys) {
-      if (LaneOfKey(k) != l) {
-        return false;
-      }
-    }
+  // Lane 0 is the routing prototype: every lane is the same concrete backend,
+  // and LaneHint only consults command structure plus the router.
+  uint32_t hint = stores_[0]->LaneHint(cmd, *this);
+  if (hint == smr::kCrossLane) {
+    return false;
   }
-  *lane = l;
+  *lane = hint;
   return true;
 }
 
 std::string LanedStore::ApplyCrossLane(const smr::Command& cmd) {
-  switch (cmd.op) {
-    case smr::Op::kScan: {
-      // Concatenate in command key order (not lane order) — identical to the
-      // flat store's scan.
-      std::string out;
-      const std::string* v = Lookup(cmd.key);
-      if (v != nullptr) {
-        out += *v;
-      }
-      for (const std::string& k : cmd.more_keys) {
-        const std::string* mv = Lookup(k);
-        if (mv != nullptr) {
-          out += *mv;
-        }
-      }
-      return out;
-    }
-    case smr::Op::kMPut: {
-      std::string_view value(cmd.value.data(), cmd.value.size());
-      stores_[LaneOfKey(cmd.key)].Put(cmd.key, value);
-      for (const std::string& k : cmd.more_keys) {
-        stores_[LaneOfKey(k)].Put(k, value);
-      }
-      return "";
-    }
-    default:
-      // Single-key ops never span lanes; route to the primary key's lane.
-      return stores_[LaneOfKey(cmd.key)].Apply(cmd);
-  }
+  return stores_[0]->ApplyAcross(cmd, *this);
 }
 
 std::string LanedStore::Apply(const smr::Command& cmd) {
@@ -59,8 +38,9 @@ std::string LanedStore::Apply(const smr::Command& cmd) {
     return "";
   }
   if (cmd.is_batch()) {
-    // Composite submission batch, same semantics as KvStore::Apply(kBatch):
-    // sub-commands apply in encoded order (sequential here — the inline path).
+    // Composite submission batch, same semantics as the flat backends'
+    // Apply(kBatch): sub-commands apply in encoded order (sequential here —
+    // the inline path).
     std::vector<smr::Command> subs;
     if (smr::UnpackBatch(cmd, subs)) {
       for (const smr::Command& sub : subs) {
@@ -78,18 +58,33 @@ std::string LanedStore::Apply(const smr::Command& cmd) {
 
 uint64_t LanedStore::StateDigest() const {
   uint64_t digest = 0;
-  for (const kvs::KvStore& s : stores_) {
-    digest ^= s.StateDigest();
+  for (const auto& s : stores_) {
+    digest ^= s->StateDigest();
   }
   return digest;
 }
 
-size_t LanedStore::size() const {
-  size_t total = 0;
-  for (const kvs::KvStore& s : stores_) {
-    total += s.size();
+void LanedStore::SnapshotTo(codec::Writer& w) const {
+  w.Varint(lanes_);
+  for (const auto& s : stores_) {
+    s->SnapshotTo(w);
   }
-  return total;
+}
+
+bool LanedStore::RestoreFrom(codec::Reader& r) {
+  uint64_t lanes = r.Varint();
+  if (!r.ok() || lanes != lanes_) {
+    // A snapshot taken at a different lane count would scatter keys onto the
+    // wrong lanes; recovery must be configured with the lane count that wrote
+    // the snapshot (DeploymentOptions::executor_threads).
+    return false;
+  }
+  for (const auto& s : stores_) {
+    if (!s->RestoreFrom(r)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace exec

@@ -55,9 +55,14 @@ const char* ProtocolFlagName(harness::Protocol p) {
 }
 
 std::string RerunCommand(const RunSpec& spec) {
-  return "fault_campaign --pack " + spec.pack + " --seed " +
-         std::to_string(spec.seed) + " --protocol " + ProtocolFlagName(spec.protocol) +
-         " --partitions " + std::to_string(spec.partitions);
+  std::string cmd = "fault_campaign --pack " + spec.pack + " --seed " +
+                    std::to_string(spec.seed) + " --protocol " +
+                    ProtocolFlagName(spec.protocol) + " --partitions " +
+                    std::to_string(spec.partitions);
+  if (!spec.data_dir.empty()) {
+    cmd += " --data-dir " + spec.data_dir;
+  }
+  return cmd;
 }
 
 RunResult RunScenario(const RunSpec& spec) {
@@ -82,6 +87,14 @@ RunResult RunScenario(const RunSpec& spec) {
   opts.recovery_retry_interval = 800 * common::kMillisecond;
   opts.revoke_retry_interval = 400 * common::kMillisecond;
   opts.max_client_retries = sc->max_client_retries;
+  if (!spec.data_dir.empty()) {
+    // Keep tuples from clobbering each other when one campaign sweeps many
+    // (pack, protocol, partitions, seed) combinations over a shared directory.
+    opts.data_dir = spec.data_dir + "/" + sc->name + "-" +
+                    ProtocolFlagName(spec.protocol) + "-p" +
+                    std::to_string(spec.partitions) + "-s" +
+                    std::to_string(spec.seed);
+  }
 
   harness::Cluster cluster(opts);
   const uint32_t n = cluster.n();

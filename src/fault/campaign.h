@@ -23,6 +23,11 @@ struct RunSpec {
   uint64_t seed = 1;
   harness::Protocol protocol = harness::Protocol::kAtlas;
   uint32_t partitions = 1;
+  // When non-empty, every site persists its commit log + snapshots under
+  // data_dir/site-N (see src/dur) and scheduled restarts recover from disk
+  // instead of restarting with amnesia. The pack's gates are unchanged — a
+  // durable run must pass the same acceptance criteria.
+  std::string data_dir;
 };
 
 struct RunResult {

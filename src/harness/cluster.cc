@@ -60,6 +60,11 @@ smr::DeploymentOptions Cluster::MakeDeploymentOptions(common::ProcessId site) co
   d.recovery_scan_interval = opts_.recovery_scan_interval;
   d.recovery_retry_interval = opts_.recovery_retry_interval;
   d.revoke_retry_interval = opts_.revoke_retry_interval;
+  if (!opts_.data_dir.empty()) {
+    d.data_dir = opts_.data_dir + "/site-" + std::to_string(site);
+    d.snapshot_every = opts_.snapshot_every;
+    d.fsync_mode = opts_.fsync_mode;
+  }
   return d;
 }
 
@@ -210,7 +215,8 @@ void Cluster::OnExecuted(common::ProcessId p, const common::Dot& dot,
   // batches) to its per-shard stores and counts; the harness accounts each client
   // command on top — checker history, execution trace, client completion.
   replicas_[p]->ApplyExecuted(
-      cmd, [this, p, &dot](uint32_t shard, const smr::Command& sub, std::string&&) {
+      dot, cmd,
+      [this, p, &dot](uint32_t shard, const smr::Command& sub, std::string&&) {
         AccountExecuted(p, dot, shard, sub);
       });
 }
@@ -326,7 +332,17 @@ void Cluster::RestartSite(common::ProcessId site) {
   // stable-storage floors (smr::RestartHint). Everything else — protocol state,
   // stores, conflict indexes — is rebuilt empty and re-learned via recovery.
   std::vector<smr::RestartHint> hints = replicas_[site]->RestartHints();
+  // Destroy the dead incarnation before constructing its replacement: the
+  // durable deployment flushes its buffered commit-log tail on destruction,
+  // and the fresh one reads the data_dir in its constructor.
+  replicas_[site].reset();
   auto fresh = std::make_unique<smr::Deployment>(MakeDeploymentOptions(site));
+  if (fresh->HasRecoveredState()) {
+    // Durable restart: the new incarnation restored its stores from disk, and
+    // the persisted seq-floor reservations supersede the dead incarnation's
+    // in-memory floors (they are what a real power loss would leave behind).
+    hints = fresh->RecoveredRestartHints();
+  }
   // Binds + starts the new engine under a new incarnation; in-flight messages and
   // timers addressed to the dead incarnation are dropped on delivery.
   sim_->Restart(site, &fresh->engine());

@@ -67,6 +67,16 @@ struct ClusterOptions {
   // enabled. 0 keeps the legacy unbounded behaviour.
   uint32_t max_client_retries = 0;
 
+  // Durable persistence (see src/dur): when non-empty, every site commit-logs
+  // its executed commands and snapshots under data_dir/site-N, and a scheduled
+  // restart recovers that site's stores from disk (snapshot + log tail) instead
+  // of rebuilding them empty. Simulations default to no real fsync — the
+  // simulated crash model only needs the on-disk bytes, not their ordering
+  // against power loss; the TCP runtime picks its own mode.
+  std::string data_dir;
+  uint64_t snapshot_every = 4096;
+  dur::FsyncMode fsync_mode = dur::FsyncMode::kNone;
+
   // Partitioned replicas: each site runs `partitions` independent engines behind a
   // smr::ShardedEngine, with per-(site, partition) stores and per-partition checkers.
   // partitions == 1 builds exactly the classic single-engine deployment (seeded runs

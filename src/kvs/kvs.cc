@@ -52,6 +52,10 @@ std::string KvStore::Apply(const smr::Command& cmd) {
       }
       return "";
     }
+    case smr::Op::kRange:
+      // Ordered iteration is undefined on a hash map; the ordered backend
+      // (kvs::OrderedKvs) implements ranges.
+      return "";
   }
   return "";
 }
@@ -73,6 +77,35 @@ uint64_t KvStore::StateDigest() const {
 const std::string* KvStore::Lookup(const std::string& key) const {
   auto it = map_.find(key);
   return it == map_.end() ? nullptr : &it->second;
+}
+
+void KvStore::SnapshotTo(codec::Writer& w) const {
+  // Entry count then (key, value) pairs; iteration order does not matter for
+  // the digest (XOR) or the restored map, so no sort is needed. The format is
+  // self-delimiting: RestoreFrom consumes exactly count pairs.
+  w.Varint(map_.size());
+  for (const auto& [k, v] : map_) {
+    w.Bytes(k);
+    w.Bytes(v);
+  }
+}
+
+bool KvStore::RestoreFrom(codec::Reader& r) {
+  map_.clear();
+  uint64_t n = r.Varint();
+  if (!r.ok() || n > r.remaining()) {
+    return false;
+  }
+  for (uint64_t i = 0; i < n; i++) {
+    std::string k = r.Bytes();
+    std::string v = r.Bytes();
+    if (!r.ok()) {
+      map_.clear();
+      return false;
+    }
+    map_[std::move(k)] = std::move(v);
+  }
+  return true;
 }
 
 }  // namespace kvs

@@ -18,11 +18,14 @@ namespace kvs {
 //   kRmw   -> appends value to the current value, returns the previous value
 //   kScan  -> returns the concatenation of values under key + more_keys
 //   kMPut  -> stores value under key and every key in more_keys
+//   kRange -> "" (ordered iteration is not defined on a hash map; see OrderedKvs)
 //   kNoOp  -> no effect
 class KvStore final : public smr::StateMachine {
  public:
   std::string Apply(const smr::Command& cmd) override;
   uint64_t StateDigest() const override;
+  void SnapshotTo(codec::Writer& w) const override;
+  bool RestoreFrom(codec::Reader& r) override;
 
   size_t size() const { return map_.size(); }
   const std::string* Lookup(const std::string& key) const;
@@ -32,6 +35,15 @@ class KvStore final : public smr::StateMachine {
   // an allocation-free way to land one key's mutation on its lane.
   void Put(const std::string& key, std::string_view value) {
     map_[key].assign(value.data(), value.size());
+  }
+
+  // Lane primitives for the default cross-lane decomposition
+  // (smr::StateMachine::ApplyAcross).
+  const std::string* LookupKey(const std::string& key) const override {
+    return Lookup(key);
+  }
+  void PutKey(const std::string& key, std::string_view value) override {
+    Put(key, value);
   }
 
  private:

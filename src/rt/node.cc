@@ -8,11 +8,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <thread>
 
 #include "src/codec/codec.h"
 #include "src/common/check.h"
+#include "src/dur/frontier.h"
+#include "src/dur/shard_durability.h"
 
 namespace rt {
 
@@ -21,6 +24,11 @@ namespace {
 constexpr uint8_t kFrameMessage = 0;
 constexpr uint8_t kFramePeerHello = 1;
 constexpr uint8_t kFrameClientHello = 2;
+constexpr uint8_t kFrameCatchupReq = 3;
+constexpr uint8_t kFrameCatchupEntries = 4;
+
+constexpr common::Duration kRedialFloor = 50 * common::kMillisecond;
+constexpr common::Duration kRedialCap = common::kSecond;
 
 void SetNonBlocking(int fd) {
   int flags = fcntl(fd, F_GETFL, 0);
@@ -81,6 +89,9 @@ class Connection {
       }
     }
     node_->loop_.ModifyFd(fd_, out_.empty() ? EPOLLIN : (EPOLLIN | EPOLLOUT));
+    if (closed_) {
+      node_->NoteClosed(this);
+    }
   }
 
   bool closed() const { return closed_; }
@@ -131,6 +142,9 @@ class Connection {
     }
     if (off > 0) {
       in_.erase(in_.begin(), in_.begin() + static_cast<ptrdiff_t>(off));
+    }
+    if (closed_) {
+      node_->NoteClosed(this);
     }
   }
 
@@ -238,6 +252,20 @@ void Node::Run() {
 }
 
 void Node::OnPeerConnected(common::ProcessId peer, std::unique_ptr<Connection> conn) {
+  // A reconnect replaces any stale connection to the same peer; scrub every
+  // raw pointer to the old one before its unique_ptr frees it. An in-flight
+  // dial to that peer (it beat us to reconnecting) is abandoned too.
+  auto old = peer_conns_.find(peer);
+  if (old != peer_conns_.end() && old->second != nullptr) {
+    ForgetConn(old->second.get());
+  }
+  auto dial = dialing_.find(peer);
+  if (dial != dialing_.end()) {
+    loop_.UnwatchFd(dial->second);
+    close(dial->second);
+    dialing_.erase(dial);
+  }
+  redial_backoff_.erase(peer);
   peer_conns_[peer] = std::move(conn);
   MaybeStartEngine();
 }
@@ -250,8 +278,11 @@ void Node::MaybeStartEngine() {
   if (shards_ != nullptr) {
     // Threaded tier: each worker binds and starts its own shard engine on its
     // own thread; the ShardedEngine wrapper (and this node's Context methods)
-    // stay out of the message path entirely.
+    // stay out of the message path entirely. Workers apply recovered restart
+    // hints themselves, right after OnStart.
     shards_->Start(self_, static_cast<uint32_t>(peers_.size()));
+    SendCatchupRequests();
+    ReplayPendingPeerFrames();
     for (smr::Command& cmd : pending_submits_) {
       uint32_t shard = 0;
       if (deployment_->partitions() > 1) {
@@ -264,10 +295,82 @@ void Node::MaybeStartEngine() {
   }
   deployment_->engine().Bind(self_, static_cast<uint32_t>(peers_.size()), this);
   deployment_->engine().OnStart();
+  if (deployment_->HasRecoveredState()) {
+    // After OnStart, so protocol initialization cannot clobber the floors.
+    deployment_->ApplyRestartHints(deployment_->RecoveredRestartHints());
+  }
+  SendCatchupRequests();
+  ReplayPendingPeerFrames();
   for (smr::Command& cmd : pending_submits_) {
     deployment_->engine().Submit(std::move(cmd));
   }
   pending_submits_.clear();
+}
+
+void Node::BufferPeerFrame(common::ProcessId from, const uint8_t* data,
+                           size_t size) {
+  // Overflow falls back to dropping, as before buffering existed; the window
+  // between mesh completion and engine start is a handful of milliseconds, so
+  // the cap exists only to bound a misbehaving peer.
+  constexpr size_t kMaxPendingPeerFrames = 65536;
+  if (pending_peer_frames_.size() >= kMaxPendingPeerFrames) {
+    return;
+  }
+  pending_peer_frames_.push_back(
+      PendingPeerFrame{from, std::vector<uint8_t>(data, data + size)});
+}
+
+void Node::ReplayPendingPeerFrames() {
+  std::vector<PendingPeerFrame> frames;
+  frames.swap(pending_peer_frames_);
+  for (PendingPeerFrame& f : frames) {
+    codec::Reader r(f.bytes.data(), f.bytes.size());
+    uint8_t kind = r.U8();
+    switch (kind) {
+      case kFrameMessage: {
+        msg::Message m;
+        if (!msg::Decode(r, m)) {
+          break;
+        }
+        if (shards_ != nullptr) {
+          RouteInput(f.from, &m, /*shard=*/0, nullptr);
+        } else {
+          deployment_->engine().OnMessage(f.from, m);
+        }
+        break;
+      }
+      case kFrameCatchupReq:
+        HandleCatchupRequest(r);
+        break;
+      case kFrameCatchupEntries:
+        HandleCatchupEntries(r);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void Node::SendCatchupRequests() {
+  if (catchup_requested_ || !deployment_->durable() ||
+      !deployment_->HasRecoveredState()) {
+    return;
+  }
+  catchup_requested_ = true;
+  const smr::Deployment::CatchupAdvert& adv = deployment_->catchup_advert();
+  encode_scratch_.Clear();
+  encode_scratch_.U8(kFrameCatchupReq);
+  encode_scratch_.U32(self_);
+  encode_scratch_.Varint(adv.shards.size());
+  for (const auto& s : adv.shards) {
+    encode_scratch_.Varint(s.seq_floor);
+    encode_scratch_.Bytes(s.frontier);
+  }
+  for (auto& [p, conn] : peer_conns_) {
+    if (conn != nullptr && !conn->closed()) {
+      conn->SendFrame(encode_scratch_.buffer());
+    }
+  }
 }
 
 void Node::OnFrame(Connection* conn, const uint8_t* data, size_t size) {
@@ -324,7 +427,29 @@ void Node::OnFrame(Connection* conn, const uint8_t* data, size_t size) {
             SendReply(conn, req->cmd.client, req->cmd.seq, "", /*dropped=*/true);
             return;
           }
-          waiting_clients_[chk::CmdKey{req->cmd.client, req->cmd.seq}] = conn;
+          chk::CmdKey key{req->cmd.client, req->cmd.seq};
+          if (deployment_->durable()) {
+            // Idempotent resubmission: a client that reconnected after its
+            // socket died re-sends its last command. If it already completed,
+            // answer from the completion cache instead of re-executing; if it
+            // is still in flight, just re-point the reply at the new
+            // connection.
+            auto done = client_done_.find(req->cmd.client);
+            if (done != client_done_.end() && req->cmd.seq <= done->second.first) {
+              SendReply(conn, req->cmd.client, req->cmd.seq,
+                        req->cmd.seq == done->second.first
+                            ? std::string(done->second.second)
+                            : std::string(),
+                        /*dropped=*/false);
+              return;
+            }
+            if (in_flight_.find(key) != in_flight_.end()) {
+              waiting_clients_[key] = conn;
+              return;
+            }
+            in_flight_.insert(key);
+          }
+          waiting_clients_[key] = conn;
           if (engine_started_) {
             if (shards_ != nullptr) {
               RouteInput(common::kInvalidProcess, nullptr, shard, &req->cmd);
@@ -337,8 +462,10 @@ void Node::OnFrame(Connection* conn, const uint8_t* data, size_t size) {
         }
         return;
       }
-      if (conn->peer_id != common::kInvalidProcess && engine_started_) {
-        if (shards_ != nullptr) {
+      if (conn->peer_id != common::kInvalidProcess) {
+        if (!engine_started_) {
+          BufferPeerFrame(conn->peer_id, data, size);
+        } else if (shards_ != nullptr) {
           RouteInput(conn->peer_id, &m, /*shard=*/0, nullptr);
         } else {
           deployment_->engine().OnMessage(conn->peer_id, m);
@@ -346,8 +473,148 @@ void Node::OnFrame(Connection* conn, const uint8_t* data, size_t size) {
       }
       break;
     }
+    case kFrameCatchupReq:
+      if (conn->peer_id != common::kInvalidProcess) {
+        if (!engine_started_) {
+          BufferPeerFrame(conn->peer_id, data, size);
+        } else {
+          HandleCatchupRequest(r);
+        }
+      }
+      break;
+    case kFrameCatchupEntries:
+      if (conn->peer_id != common::kInvalidProcess) {
+        if (!engine_started_) {
+          BufferPeerFrame(conn->peer_id, data, size);
+        } else {
+          HandleCatchupEntries(r);
+        }
+      }
+      break;
     default:
       break;
+  }
+}
+
+void Node::HandleCatchupRequest(codec::Reader& r) {
+  common::ProcessId requester = r.U32();
+  uint64_t nshards = r.Varint();
+  if (!r.ok() || requester >= peers_.size() ||
+      nshards != deployment_->partitions()) {
+    return;
+  }
+  std::vector<uint64_t> floors(nshards);
+  std::vector<std::string> frontiers(nshards);
+  for (uint64_t s = 0; s < nshards; s++) {
+    floors[s] = r.Varint();
+    frontiers[s] = r.Bytes();
+  }
+  if (!r.ok()) {
+    return;
+  }
+  if (shards_ != nullptr) {
+    // Each shard worker OnRestore()s its engine and streams the missing log
+    // records back as kCatchup outputs. Same bounded-retry discipline as
+    // RouteInput: drain outboxes while an inbox is full, then give up (the
+    // requester simply stays behind until protocol recovery catches it up).
+    for (uint32_t s = 0; s < nshards; s++) {
+      constexpr int kMaxSpins = 200000;
+      for (int spin = 0;; spin++) {
+        if (shards_->RouteCatchupRequest(s, requester, floors[s], frontiers[s])) {
+          break;
+        }
+        if (DrainShardOutputs() > 0) {
+          FlushDirty();
+        }
+        if (spin >= kMaxSpins) {
+          shards_->CountDroppedInput();
+          break;
+        }
+        std::this_thread::yield();
+      }
+    }
+    return;
+  }
+  // Single-driver mode: restore notification + streaming happen inline.
+  std::vector<smr::RestartHint> hints(nshards);
+  for (uint64_t s = 0; s < nshards; s++) {
+    hints[s].seq_floor = floors[s];
+  }
+  deployment_->NotifyRestore(requester, hints);
+  if (!deployment_->durable()) {
+    return;
+  }
+  for (uint32_t s = 0; s < nshards; s++) {
+    dur::ShardDurability* d = deployment_->durability(s);
+    if (d == nullptr) {
+      continue;
+    }
+    dur::DotFrontier have;
+    codec::Reader fr(reinterpret_cast<const uint8_t*>(frontiers[s].data()),
+                     frontiers[s].size());
+    have.DecodeFrom(fr);  // malformed decodes empty: over-stream, peer dedups
+    constexpr size_t kEntriesPerFrame = 256;
+    codec::Writer entries;
+    size_t count = 0;
+    auto flush = [&]() {
+      if (count == 0) {
+        return;
+      }
+      codec::Writer payload;
+      payload.Varint(s);
+      payload.Varint(count);
+      std::string body(reinterpret_cast<const char*>(payload.buffer().data()),
+                       payload.buffer().size());
+      body.append(reinterpret_cast<const char*>(entries.buffer().data()),
+                  entries.buffer().size());
+      OnCatchupFrame(requester, std::move(body));
+      entries.Clear();
+      count = 0;
+    };
+    d->StreamMissing(have, [&](const common::Dot& dot, const smr::Command& cmd) {
+      entries.Dot(dot);
+      cmd.EncodeTo(entries);
+      if (++count >= kEntriesPerFrame) {
+        flush();
+      }
+    });
+    flush();
+  }
+  FlushDirty();
+}
+
+void Node::HandleCatchupEntries(codec::Reader& r) {
+  uint64_t shard = r.Varint();
+  uint64_t count = r.Varint();
+  if (!r.ok() || shard >= deployment_->partitions()) {
+    return;
+  }
+  for (uint64_t i = 0; i < count; i++) {
+    common::Dot dot = r.Dot();
+    smr::Command cmd = smr::Command::Decode(r);
+    if (!r.ok() || !dot.valid()) {
+      return;
+    }
+    if (shards_ != nullptr) {
+      constexpr int kMaxSpins = 200000;
+      for (int spin = 0;; spin++) {
+        if (shards_->RouteCatchupEntry(static_cast<uint32_t>(shard), dot, cmd)) {
+          break;
+        }
+        if (DrainShardOutputs() > 0) {
+          FlushDirty();
+        }
+        if (spin >= kMaxSpins) {
+          shards_->CountDroppedInput();
+          break;
+        }
+        std::this_thread::yield();
+      }
+    } else {
+      // The normal executed path: the durable admit filter deduplicates
+      // entries our own log replay (or another peer's stream) already covered.
+      Executed(dot, cmd);
+    }
   }
 }
 
@@ -377,9 +644,10 @@ void Node::SetTimer(common::Duration delay, uint64_t token) {
 void Node::Executed(const common::Dot& dot, const smr::Command& cmd) {
   // The deployment demultiplexes the executed command — unpacking kBatch
   // composites — onto its per-shard stores; each client sub-command's result is
-  // sent to the client waiting on it (if it submitted here).
+  // sent to the client waiting on it (if it submitted here). On durable
+  // deployments the dot also drives the commit log and its dedup filter.
   deployment_->ApplyExecuted(
-      cmd, [this](uint32_t, const smr::Command& sub, std::string&& result) {
+      dot, cmd, [this](uint32_t, const smr::Command& sub, std::string&& result) {
         if (!sub.is_noop()) {
           applied_ops_.fetch_add(1, std::memory_order_release);
         }
@@ -393,8 +661,28 @@ void Node::Dropped(const common::Dot& dot, const smr::Command& original) {
   });
 }
 
+void Node::CompleteClient(uint64_t client, uint64_t seq,
+                          const std::string& value, bool dropped) {
+  if (!deployment_->durable() || client == 0) {
+    return;
+  }
+  in_flight_.erase(chk::CmdKey{client, seq});
+  if (dropped) {
+    return;  // not cached: the client may legitimately resubmit a drop
+  }
+  auto& entry = client_done_[client];
+  if (seq >= entry.first) {
+    entry.first = seq;
+    entry.second = value;
+  }
+}
+
 void Node::ReplyToClient(uint64_t client, uint64_t seq, std::string&& value,
                          bool dropped) {
+  // Completion bookkeeping runs whether or not a client is waiting here:
+  // catch-up entries and commands submitted via a since-dead connection still
+  // complete, and a reconnecting client must find their cached results.
+  CompleteClient(client, seq, value, dropped);
   auto it = waiting_clients_.find(chk::CmdKey{client, seq});
   if (it == waiting_clients_.end()) {
     return;
@@ -483,6 +771,7 @@ void Node::OnPeerSend(common::ProcessId to, msg::Message& m) {
 
 void Node::OnClientReply(uint64_t client, uint64_t seq, std::string&& value,
                          bool dropped) {
+  CompleteClient(client, seq, value, dropped);
   auto it = waiting_clients_.find(chk::CmdKey{client, seq});
   if (it == waiting_clients_.end()) {
     return;
@@ -490,6 +779,133 @@ void Node::OnClientReply(uint64_t client, uint64_t seq, std::string&& value,
   Connection* conn = it->second;
   waiting_clients_.erase(it);
   SendReply(conn, client, seq, std::move(value), dropped, /*flush=*/false);
+}
+
+void Node::OnCatchupFrame(common::ProcessId to, std::string&& payload) {
+  auto it = peer_conns_.find(to);
+  if (it == peer_conns_.end() || it->second == nullptr || it->second->closed()) {
+    return;  // requester vanished again; it will re-request on its next start
+  }
+  std::vector<uint8_t> frame;
+  frame.reserve(1 + payload.size());
+  frame.push_back(kFrameCatchupEntries);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  it->second->QueueFrame(frame);
+  MarkDirty(it->second.get());
+}
+
+// --- Connection loss, reaping and re-dialing --------------------------------
+
+void Node::NoteClosed(Connection* conn) {
+  (void)conn;
+  if (reap_scheduled_) {
+    return;
+  }
+  // Defer to a zero-delay timer: a connection may notice its own death from
+  // inside its read/write callbacks, and destroying it there would free the
+  // object under its own stack frame.
+  reap_scheduled_ = true;
+  loop_.AddTimer(0, [this]() {
+    reap_scheduled_ = false;
+    ReapConnections();
+  });
+}
+
+void Node::ForgetConn(Connection* conn) {
+  for (auto it = waiting_clients_.begin(); it != waiting_clients_.end();) {
+    if (it->second == conn) {
+      // The command may still execute; on durable nodes its result lands in
+      // the completion cache for the client's resubmission.
+      it = waiting_clients_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  dirty_conns_.erase(std::remove(dirty_conns_.begin(), dirty_conns_.end(), conn),
+                     dirty_conns_.end());
+}
+
+void Node::ReapConnections() {
+  for (auto& holder : anonymous_) {
+    if (holder->closed()) {
+      ForgetConn(holder.get());
+      holder = nullptr;
+    }
+  }
+  anonymous_.erase(std::remove(anonymous_.begin(), anonymous_.end(), nullptr),
+                   anonymous_.end());
+  for (auto it = peer_conns_.begin(); it != peer_conns_.end();) {
+    if (it->second != nullptr && it->second->closed()) {
+      common::ProcessId peer = it->first;
+      ForgetConn(it->second.get());
+      it = peer_conns_.erase(it);
+      if (peer > self_) {
+        // Mesh rule: this node dials higher ids; the lost lower-id peer will
+        // re-dial us when it notices the loss (or restarts).
+        ScheduleRedial(peer);
+      }
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Node::ScheduleRedial(common::ProcessId p) {
+  if (dialing_.find(p) != dialing_.end() ||
+      peer_conns_.find(p) != peer_conns_.end()) {
+    return;
+  }
+  common::Duration delay = kRedialFloor;
+  auto it = redial_backoff_.find(p);
+  if (it != redial_backoff_.end()) {
+    delay = it->second;
+  }
+  redial_backoff_[p] = std::min<common::Duration>(delay * 2, kRedialCap);
+  loop_.AddTimer(delay, [this, p]() { DialPeer(p); });
+}
+
+void Node::DialPeer(common::ProcessId p) {
+  if (dialing_.find(p) != dialing_.end() ||
+      peer_conns_.find(p) != peer_conns_.end()) {
+    return;  // the peer reconnected to us while we were backing off
+  }
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (fd < 0) {
+    ScheduleRedial(p);
+    return;
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(peers_[p].port);
+  inet_pton(AF_INET, peers_[p].host.c_str(), &addr.sin_addr);
+  int rc = connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    close(fd);
+    ScheduleRedial(p);
+    return;
+  }
+  dialing_[p] = fd;
+  loop_.WatchFd(fd, EPOLLOUT, [this, p, fd](uint32_t) { OnDialReady(p, fd); });
+}
+
+void Node::OnDialReady(common::ProcessId p, int fd) {
+  loop_.UnwatchFd(fd);
+  dialing_.erase(p);
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+    close(fd);
+    ScheduleRedial(p);
+    return;
+  }
+  auto conn = std::make_unique<Connection>(this, fd);
+  encode_scratch_.Clear();
+  encode_scratch_.U8(kFramePeerHello);
+  encode_scratch_.U32(self_);
+  conn->SendFrame(encode_scratch_.buffer());
+  conn->peer_id = p;
+  OnPeerConnected(p, std::move(conn));
 }
 
 void Node::MarkDirty(Connection* conn) {
@@ -511,12 +927,20 @@ void Node::Stop() { loop_.Stop(); }
 
 // ---------------------------------------------------------------------------
 
-Client::Client(const std::string& host, uint16_t port) : host_(host), port_(port) {}
+Client::Client(const std::string& host, uint16_t port)
+    : Client(host, port, Options()) {}
 
-Client::~Client() {
+Client::Client(const std::string& host, uint16_t port, Options opts)
+    : host_(host), port_(port), opts_(opts) {}
+
+Client::~Client() { Disconnect(); }
+
+void Client::Disconnect() {
   if (fd_ >= 0) {
     close(fd_);
+    fd_ = -1;
   }
+  in_.clear();
 }
 
 bool Client::Connect() {
@@ -604,18 +1028,34 @@ bool Client::RecvReply(uint64_t* seq_out, std::string* result_out) {
 }
 
 bool Client::Call(const smr::Command& cmd, std::string* result_out) {
-  if (!Send(cmd)) {
-    return false;
-  }
-  // With one outstanding request the next reply is ours; skip stale frames
-  // defensively all the same.
-  uint64_t seq = 0;
-  while (RecvReply(&seq, result_out)) {
-    if (seq == cmd.seq) {
-      return true;
+  for (int attempt = 0;; attempt++) {
+    if (attempt > 0) {
+      // The socket died mid-request (server killed/restarted). Reconnect and
+      // resubmit the same (client, seq): durable nodes deduplicate, answering
+      // a completed command from their cache instead of re-executing it.
+      Disconnect();
+      usleep(static_cast<useconds_t>(opts_.retry_backoff));
+    }
+    bool ok = fd_ >= 0 || Connect();
+    if (ok) {
+      ok = Send(cmd);
+    }
+    if (ok) {
+      // With one outstanding request the next reply is ours; skip stale
+      // frames (e.g. a pre-disconnect duplicate) defensively all the same.
+      uint64_t seq = 0;
+      ok = false;
+      while (RecvReply(&seq, result_out)) {
+        if (seq == cmd.seq) {
+          return true;
+        }
+      }
+    }
+    if (attempt >= opts_.max_retries) {
+      gave_up_++;
+      return false;
     }
   }
-  return false;
 }
 
 }  // namespace rt

@@ -2,9 +2,12 @@
 //
 // A node listens on one port for both peer and client connections; frames are
 // 4-byte little-endian length + codec-encoded payload:
-//   peer hello:   [u8 = 1][u32 sender_id]
-//   client hello: [u8 = 2]
-//   message:      [u8 = 0][msg::Message]
+//   message:         [u8 = 0][msg::Message]
+//   peer hello:      [u8 = 1][u32 sender_id]
+//   client hello:    [u8 = 2]
+//   catch-up request [u8 = 3][u32 requester][varint nshards]
+//                    [per shard: varint seq_floor, bytes(frontier)]
+//   catch-up entries [u8 = 4][varint shard][varint count][count x (dot, cmd)]
 // Peers form a full mesh (node i dials every peer j > i; lower ids accept). Client
 // ClientRequest commands are routed through the deployment's smr::Partitioner —
 // on sharded replicas the command lands directly on its partition's engine, with
@@ -21,8 +24,16 @@
 //     output back out, coalescing outbound frames so each socket is written
 //     at most once per drain pass no matter how many shards fed it.
 //
-// Scope: the failure-free data path (reconnect/catch-up on TCP loss is future work;
-// the simulator covers failure experiments deterministically).
+// Fault tolerance: a lost peer socket is reaped and re-dialed with backoff
+// (the dialing side per the mesh rule above; the accepting side waits for the
+// fresh hello). A node constructed over a non-empty data_dir recovers its
+// stores from disk (snapshot + log tail, see src/dur), then — once the mesh
+// re-forms — advertises its per-shard executed-dot frontiers to every peer;
+// peers stream back the commits it missed, which apply through the normal
+// executed path (the durable admit filter deduplicates). Clients that vanish
+// mid-request are reaped too; on durable nodes a reconnecting client may
+// resubmit the same (client, seq) and gets the cached result instead of a
+// re-execution.
 #ifndef SRC_RT_NODE_H_
 #define SRC_RT_NODE_H_
 
@@ -31,6 +42,8 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/chk/checker.h"
@@ -90,6 +103,7 @@ class Node final : public smr::Context, public ShardOutputSink {
   void OnPeerSend(common::ProcessId to, msg::Message& m) override;
   void OnClientReply(uint64_t client, uint64_t seq, std::string&& value,
                      bool dropped) override;
+  void OnCatchupFrame(common::ProcessId to, std::string&& payload) override;
 
  private:
   friend class Connection;
@@ -98,6 +112,29 @@ class Node final : public smr::Context, public ShardOutputSink {
   void OnPeerConnected(common::ProcessId peer, std::unique_ptr<Connection> conn);
   void OnFrame(Connection* conn, const uint8_t* data, size_t size);
   void MaybeStartEngine();
+  // Connection teardown: a closed socket schedules a reap on the loop (never
+  // destroyed mid-callback); the reap scrubs every raw pointer to the
+  // connection (waiting_clients_, dirty_conns_) before freeing it, and
+  // schedules a backoff re-dial when the lost peer is one this node dials.
+  void NoteClosed(Connection* conn);
+  void ReapConnections();
+  void ForgetConn(Connection* conn);
+  void ScheduleRedial(common::ProcessId p);
+  void DialPeer(common::ProcessId p);
+  void OnDialReady(common::ProcessId p, int fd);
+  // Pre-start peer traffic: frames from peers whose engines started before ours
+  // are held and replayed in arrival order the moment our engine starts (see
+  // pending_peer_frames_).
+  void BufferPeerFrame(common::ProcessId from, const uint8_t* data, size_t size);
+  void ReplayPendingPeerFrames();
+  // Durable restart: advertise recovered frontiers to every peer (once, when
+  // the engine starts) so they stream back what this node missed.
+  void SendCatchupRequests();
+  void HandleCatchupRequest(codec::Reader& r);
+  void HandleCatchupEntries(codec::Reader& r);
+  // Completion bookkeeping for durable client idempotency (no-op otherwise).
+  void CompleteClient(uint64_t client, uint64_t seq, const std::string& value,
+                      bool dropped);
   // Threaded mode: routes one decoded input to its shard's inbox, draining
   // worker outboxes while the inbox is full (never a blocking wait; bounded
   // retries, then the input is dropped and counted).
@@ -126,9 +163,29 @@ class Node final : public smr::Context, public ShardOutputSink {
   std::vector<std::unique_ptr<Connection>> anonymous_;  // pre-hello + client conns
   // (client, seq) -> connection serving that client.
   std::unordered_map<chk::CmdKey, Connection*, chk::CmdKeyHash> waiting_clients_;
+  // Reconnect state: in-progress non-blocking dials (peer -> fd) and the
+  // per-peer re-dial backoff (reset on successful connect).
+  std::map<common::ProcessId, int> dialing_;
+  std::map<common::ProcessId, common::Duration> redial_backoff_;
+  bool reap_scheduled_ = false;
+  bool catchup_requested_ = false;
+  // Durable client idempotency: commands submitted but not yet completed, and
+  // each client's last completed (seq, result) for resubmit short-circuiting.
+  std::unordered_set<chk::CmdKey, chk::CmdKeyHash> in_flight_;
+  std::unordered_map<uint64_t, std::pair<uint64_t, std::string>> client_done_;
   // Client commands that arrived before the peer mesh completed; submitted the
   // moment the engine starts (previously they were dropped and the client hung).
   std::vector<smr::Command> pending_submits_;
+  // Peer frames (messages / catch-up) that arrived before this node's own mesh
+  // completed, replayed at engine start. Nodes start their engines at different
+  // moments — a faster peer's first proposal must not be dropped here: protocols
+  // whose commit needs every live replica's ack (Mencius) would wedge that slot
+  // forever. Bounded; overflow falls back to the old drop behaviour.
+  struct PendingPeerFrame {
+    common::ProcessId from;
+    std::vector<uint8_t> bytes;  // full frame, kind byte included
+  };
+  std::vector<PendingPeerFrame> pending_peer_frames_;
   // Reused (clear-not-reallocate) encode scratch for all outbound frames; pre-sized
   // per message via msg::EncodedSize so encoding never grows it mid-message.
   codec::Writer encode_scratch_;
@@ -146,14 +203,33 @@ class Node final : public smr::Context, public ShardOutputSink {
 // Minimal synchronous client for examples and tests. Also supports pipelined
 // use (a fixed window of outstanding requests per connection) via Send/RecvReply;
 // Call is Send + RecvReply with one outstanding request.
+//
+// With Options::max_retries > 0, Call() survives a dying server socket: it
+// reconnects with backoff and resubmits the same (client, seq). Durable nodes
+// deduplicate the resubmission (cached result for a completed command,
+// re-pointing for one still in flight), so the retry is idempotent. A Call
+// that exhausts its retries bumps gave_up() and returns false — the caller
+// knows the command's fate is unknown rather than silently hanging.
 class Client {
  public:
+  struct Options {
+    int max_retries = 0;  // reconnect-and-resubmit attempts after a failure
+    common::Duration retry_backoff = 100 * common::kMillisecond;
+  };
+
   Client(const std::string& host, uint16_t port);
+  Client(const std::string& host, uint16_t port, Options opts);
   ~Client();
 
   bool Connect();
-  // Sends cmd and blocks until the reply arrives. Returns false on connection error.
+  void Disconnect();
+  bool connected() const { return fd_ >= 0; }
+  // Sends cmd and blocks until the reply arrives, reconnecting/resubmitting up
+  // to max_retries times. Returns false on connection error or retry exhaustion.
   bool Call(const smr::Command& cmd, std::string* result_out);
+
+  // Calls that exhausted every retry (their outcome is unknown).
+  uint64_t gave_up() const { return gave_up_; }
 
   // Pipelined path: enqueue one request without waiting for its reply.
   bool Send(const smr::Command& cmd);
@@ -165,7 +241,9 @@ class Client {
  private:
   std::string host_;
   uint16_t port_;
+  Options opts_;
   int fd_ = -1;
+  uint64_t gave_up_ = 0;
   std::vector<uint8_t> in_;  // partial-frame carry across RecvReply calls
 };
 

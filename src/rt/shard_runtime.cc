@@ -129,12 +129,23 @@ class ShardRuntime::Worker final : public smr::Context {
     if (pool_ != nullptr) {
       // Ordering/execution split: hand the (deterministically ordered) command
       // to the executor pool. Counting and replies happen via the pool's
-      // applied/on_completion hooks instead of the inline lambda below.
+      // applied/on_completion hooks instead of the inline lambda below. The
+      // durable admit (dedup + log append) stays on this thread, before the
+      // fan-out, so the log records the shard's emission order exactly.
+      if (!owner_->deployment_->AdmitDurable(shard_, dot, cmd)) {
+        return;
+      }
       pool_->Execute(cmd, exec_scratch_);
+      if (owner_->deployment_->SnapshotDue(shard_)) {
+        // Snapshots need the store quiesced; WaitIdle drains every lane, so
+        // the blob reflects all admitted commands up to this point.
+        pool_->WaitIdle();
+        owner_->deployment_->WriteShardSnapshot(shard_);
+      }
       return;
     }
     owner_->deployment_->ApplyExecutedShard(
-        shard_, cmd, exec_scratch_,
+        shard_, dot, cmd, exec_scratch_,
         [this](uint32_t, const smr::Command& sub, std::string&& result) {
           if (!sub.is_noop()) {
             owner_->applied_ops_.fetch_add(1, std::memory_order_release);
@@ -150,6 +161,54 @@ class ShardRuntime::Worker final : public smr::Context {
           out.dropped = false;
           PushOutput(out);
         });
+  }
+
+  // A restarted peer advertised its executed-dot frontier: tell the engine it
+  // is back (clearing suspicion below its reserved floor), then stream every
+  // log record the peer is missing, batched into kCatchup output frames.
+  void HandleCatchupReq(common::ProcessId from, uint64_t seq_floor,
+                        const std::string& blob) {
+    owner_->deployment_->shard_engine(shard_).OnRestore(from, seq_floor);
+    dur::ShardDurability* d = owner_->deployment_->durability(shard_);
+    if (d == nullptr) {
+      return;
+    }
+    dur::DotFrontier have;
+    codec::Reader r(reinterpret_cast<const uint8_t*>(blob.data()), blob.size());
+    // A malformed frontier decodes to empty: we over-stream and the peer's
+    // admit filter discards the duplicates.
+    have.DecodeFrom(r);
+    constexpr size_t kEntriesPerFrame = 256;
+    codec::Writer entries;
+    size_t count = 0;
+    auto flush = [&]() {
+      if (count == 0) {
+        return;
+      }
+      codec::Writer frame;
+      frame.Varint(shard_);
+      frame.Varint(count);
+      ShardOutput out;
+      out.kind = ShardOutput::Kind::kCatchup;
+      out.to = from;
+      out.value.assign(
+          reinterpret_cast<const char*>(frame.buffer().data()),
+          frame.buffer().size());
+      out.value.append(
+          reinterpret_cast<const char*>(entries.buffer().data()),
+          entries.buffer().size());
+      PushOutput(out);
+      entries.Clear();
+      count = 0;
+    };
+    d->StreamMissing(have, [&](const common::Dot& dot, const smr::Command& cmd) {
+      entries.Dot(dot);
+      cmd.EncodeTo(entries);
+      if (++count >= kEntriesPerFrame) {
+        flush();
+      }
+    });
+    flush();
   }
 
   void Dropped(const common::Dot& dot, const smr::Command& original) override {
@@ -247,6 +306,13 @@ class ShardRuntime::Worker final : public smr::Context {
       pool_->Start();
     }
     engine.OnStart();
+    if (owner_->deployment_->HasRecoveredState()) {
+      // Seed the recovered floors after OnStart so protocol initialization
+      // cannot clobber them; fresh submissions then mint dots above anything
+      // a prior incarnation may have used.
+      engine.ApplyRestartHint(
+          owner_->deployment_->RecoveredRestartHints()[shard_]);
+    }
     ShardInput in;
     while (!stop_.load(std::memory_order_acquire)) {
       bool worked = false;
@@ -275,6 +341,15 @@ class ShardRuntime::Worker final : public smr::Context {
             break;
           case ShardInput::Kind::kSubmit:
             SubmitLocal(in.cmd);
+            break;
+          case ShardInput::Kind::kCatchupReq:
+            HandleCatchupReq(in.from, in.seq_floor, in.blob);
+            break;
+          case ShardInput::Kind::kCatchupEntry:
+            // The normal executed path: the durable admit filter deduplicates
+            // (we may have replayed this record from our own log already), and
+            // a duplicate's reply simply finds no waiting client.
+            Executed(in.dot, in.cmd);
             break;
           case ShardInput::Kind::kNone:
             break;
@@ -431,6 +506,50 @@ bool ShardRuntime::SubmitToShard(uint32_t shard, smr::Command& cmd) {
   return true;
 }
 
+bool ShardRuntime::RouteCatchupRequest(uint32_t shard, common::ProcessId from,
+                                       uint64_t seq_floor,
+                                       std::string& frontier_blob) {
+  if (shard >= partitions_) {
+    return true;
+  }
+  Worker& w = *workers_[shard];
+  if (w.stopped()) {
+    return true;
+  }
+  ShardInput in;
+  in.kind = ShardInput::Kind::kCatchupReq;
+  in.from = from;
+  in.seq_floor = seq_floor;
+  in.blob = std::move(frontier_blob);
+  if (!w.inbox().TryPush(in)) {
+    frontier_blob = std::move(in.blob);
+    return false;
+  }
+  w.bell().Ring();
+  return true;
+}
+
+bool ShardRuntime::RouteCatchupEntry(uint32_t shard, const common::Dot& dot,
+                                     smr::Command& cmd) {
+  if (shard >= partitions_) {
+    return true;
+  }
+  Worker& w = *workers_[shard];
+  if (w.stopped()) {
+    return true;
+  }
+  ShardInput in;
+  in.kind = ShardInput::Kind::kCatchupEntry;
+  in.dot = dot;
+  in.cmd = std::move(cmd);
+  if (!w.inbox().TryPush(in)) {
+    cmd = std::move(in.cmd);
+    return false;
+  }
+  w.bell().Ring();
+  return true;
+}
+
 size_t ShardRuntime::DrainOutputs(ShardOutputSink& sink) {
   size_t drained = 0;
   ShardOutput out;
@@ -444,6 +563,9 @@ size_t ShardRuntime::DrainOutputs(ShardOutputSink& sink) {
         case ShardOutput::Kind::kReply:
           sink.OnClientReply(out.client, out.seq, std::move(out.value),
                              out.dropped);
+          break;
+        case ShardOutput::Kind::kCatchup:
+          sink.OnCatchupFrame(out.to, std::move(out.value));
           break;
         case ShardOutput::Kind::kNone:
           break;

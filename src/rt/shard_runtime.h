@@ -51,22 +51,31 @@ namespace rt {
 // ring; pushing moves the decoded message/command in, so slot string capacity
 // is recycled across messages (no per-message heap allocation once warm).
 struct ShardInput {
-  enum class Kind : uint8_t { kNone, kMessage, kSubmit };
+  enum class Kind : uint8_t {
+    kNone,
+    kMessage,
+    kSubmit,
+    kCatchupReq,    // peer `from` restarted: stream it what it is missing
+    kCatchupEntry,  // one (dot, cmd) a peer streamed to us; apply idempotently
+  };
   Kind kind = Kind::kNone;
-  common::ProcessId from = 0;  // kMessage: sending peer
+  common::ProcessId from = 0;  // kMessage/kCatchupReq: sending peer
   msg::Message m;              // kMessage
-  smr::Command cmd;            // kSubmit
+  smr::Command cmd;            // kSubmit/kCatchupEntry
+  common::Dot dot;             // kCatchupEntry
+  uint64_t seq_floor = 0;      // kCatchupReq: requester's reserved floor
+  std::string blob;            // kCatchupReq: requester's encoded DotFrontier
 };
 
 // One item on a (shard -> I/O) outbox edge.
 struct ShardOutput {
-  enum class Kind : uint8_t { kNone, kPeerSend, kReply };
+  enum class Kind : uint8_t { kNone, kPeerSend, kReply, kCatchup };
   Kind kind = Kind::kNone;
-  common::ProcessId to = 0;  // kPeerSend: destination peer
+  common::ProcessId to = 0;  // kPeerSend/kCatchup: destination peer
   msg::Message m;            // kPeerSend
   uint64_t client = 0;       // kReply: completed client command
   uint64_t seq = 0;
-  std::string value;
+  std::string value;         // kReply: result; kCatchup: encoded entries frame
   bool dropped = false;
 };
 
@@ -79,6 +88,9 @@ class ShardOutputSink {
   virtual void OnPeerSend(common::ProcessId to, msg::Message& m) = 0;
   virtual void OnClientReply(uint64_t client, uint64_t seq, std::string&& value,
                              bool dropped) = 0;
+  // Catch-up entries frame for peer `to` (payload: varint shard, varint count,
+  // count x (dot, cmd)). Default drop: only the durable TCP node serves these.
+  virtual void OnCatchupFrame(common::ProcessId to, std::string&& payload) {}
 };
 
 class ShardRuntime {
@@ -119,6 +131,18 @@ class ShardRuntime {
   // caller drains outboxes (freeing worker progress) and retries or drops.
   bool RouteMessage(common::ProcessId from, msg::Message& m);
   bool SubmitToShard(uint32_t shard, smr::Command& cmd);
+
+  // Catch-up plumbing (durable deployments). RouteCatchupRequest hands a
+  // restarted peer's advert (reserved floor + encoded frontier) to the shard
+  // worker, which OnRestore()s its engine and streams the missing log records
+  // back as kCatchup outputs; RouteCatchupEntry feeds one streamed record into
+  // the shard worker, which applies it through the normal Executed path (the
+  // durable admit filter makes re-delivery idempotent). Same full-inbox
+  // contract as above.
+  bool RouteCatchupRequest(uint32_t shard, common::ProcessId from,
+                           uint64_t seq_floor, std::string& frontier_blob);
+  bool RouteCatchupEntry(uint32_t shard, const common::Dot& dot,
+                         smr::Command& cmd);
 
   // Drains every outbox into the sink (I/O thread only). Returns items drained.
   size_t DrainOutputs(ShardOutputSink& sink);

@@ -22,6 +22,8 @@ const char* OpName(Op op) {
       return "mput";
     case Op::kBatch:
       return "batch";
+    case Op::kRange:
+      return "range";
   }
   return "?";
 }
@@ -96,6 +98,17 @@ Command MakeRmw(uint64_t client, uint64_t seq, std::string key, std::string valu
 }
 
 Command MakeNoOp() { return Command{}; }
+
+Command MakeRange(uint64_t client, uint64_t seq, std::string begin,
+                  std::string end) {
+  Command c;
+  c.client = client;
+  c.seq = seq;
+  c.op = Op::kRange;
+  c.key = std::move(begin);
+  c.more_keys.push_back(std::move(end));
+  return c;
+}
 
 Command MakeBatch(const std::vector<Command>& cmds) {
   Command b;

@@ -30,6 +30,16 @@ enum class Op : uint8_t {
   // write it is. Executors/state machines unpack it (UnpackBatch) and apply the
   // sub-commands in encoded order.
   kBatch = 6,
+  // Ordered range read: returns the values of every key in [key, more_keys[0])
+  // in key order. Supported by ordered backends (kvs::OrderedKvs); hash-map
+  // backends return "". Its conflict footprint is an interval, which the
+  // key-set conflict model over-approximates with just the two endpoint keys —
+  // a coarse but safe-for-our-workloads bound (checker workloads never mix
+  // ranges with writes to interior keys). Routing across partitions is also
+  // key-set based, so at P > 1 a range is client-routable only when both
+  // endpoints hash to one shard; P = 1 and per-shard local use are the
+  // intended scopes.
+  kRange = 7,
 };
 
 const char* OpName(Op op);
@@ -47,7 +57,9 @@ struct Command {
   Payload value;
 
   bool is_noop() const { return op == Op::kNoOp; }
-  bool is_read() const { return op == Op::kGet || op == Op::kScan; }
+  bool is_read() const {
+    return op == Op::kGet || op == Op::kScan || op == Op::kRange;
+  }
   bool is_write() const {
     return op == Op::kPut || op == Op::kRmw || op == Op::kMPut || op == Op::kBatch;
   }
@@ -83,6 +95,8 @@ Command MakeGet(uint64_t client, uint64_t seq, std::string key);
 Command MakePut(uint64_t client, uint64_t seq, std::string key, std::string value);
 Command MakeRmw(uint64_t client, uint64_t seq, std::string key, std::string value);
 Command MakeNoOp();
+// Range read over [begin, end) — ordered backends only (see Op::kRange).
+Command MakeRange(uint64_t client, uint64_t seq, std::string begin, std::string end);
 
 // Builds a kBatch composite from `cmds` (none may itself be a batch or noOp). The
 // batch carries client=0/seq=0 — sub-commands keep their own (client, seq) for

@@ -111,12 +111,12 @@ Deployment::Deployment(DeploymentOptions opts)
   CHECK(engine_ != nullptr);
   for (uint32_t s = 0; s < opts_.partitions; s++) {
     if (opts_.executor_threads > 0) {
-      // Parallel execution pipeline: lane-partitioned store per shard. Lane
-      // decomposition is defined on kvs::KvStore operations, so the laned
-      // configuration and a custom service replica do not compose (yet).
-      CHECK(opts_.state_machine_factory == nullptr);
+      // Parallel execution pipeline: lane-partitioned store per shard, with
+      // each lane an instance of the configured backend (kvs::KvStore by
+      // default) routed via StateMachine::LaneHint.
       auto laned = std::make_unique<exec::LanedStore>(
-          static_cast<uint32_t>(opts_.executor_threads));
+          static_cast<uint32_t>(opts_.executor_threads),
+          opts_.state_machine_factory);
       laned_.push_back(laned.get());
       stores_.push_back(std::move(laned));
     } else {
@@ -129,6 +129,34 @@ Deployment::Deployment(DeploymentOptions opts)
   applied_counts_ = std::make_unique<std::atomic<uint64_t>[]>(opts_.partitions);
   for (uint32_t s = 0; s < opts_.partitions; s++) {
     applied_counts_[s].store(0, std::memory_order_relaxed);
+  }
+
+  if (!opts_.data_dir.empty()) {
+    // Open per-shard persistence and recover whatever is on disk: snapshot
+    // restore + log-tail replay re-derive the store state and applied counts
+    // this incarnation starts from. The catch-up advert (frontiers + floors)
+    // is captured here, before any live traffic, so the I/O thread can read
+    // it race-free while shard workers run.
+    catchup_advert_.shards.resize(opts_.partitions);
+    for (uint32_t s = 0; s < opts_.partitions; s++) {
+      dur::ShardDurability::Options dopts;
+      dopts.log.fsync_mode = opts_.fsync_mode;
+      dopts.snapshot_every = opts_.snapshot_every;
+      auto d = std::make_unique<dur::ShardDurability>(
+          opts_.data_dir + "/shard-" + std::to_string(s), dopts);
+      CHECK(d->Open());
+      if (d->had_state()) {
+        recovered_ = true;
+        uint64_t applied = d->Recover(*stores_[s]);
+        applied_counts_[s].store(applied, std::memory_order_relaxed);
+      }
+      codec::Writer w;
+      d->frontier().EncodeTo(w);
+      catchup_advert_.shards[s].seq_floor = d->persisted_seq_floor();
+      catchup_advert_.shards[s].frontier.assign(
+          reinterpret_cast<const char*>(w.buffer().data()), w.buffer().size());
+      durability_.push_back(std::move(d));
+    }
   }
 }
 
@@ -177,6 +205,33 @@ void Deployment::NotifyRestore(common::ProcessId p,
   for (uint32_t s = 0; s < opts_.partitions; s++) {
     shard_engine(s).OnRestore(p, hints[s].seq_floor);
   }
+}
+
+std::vector<RestartHint> Deployment::RecoveredRestartHints() const {
+  std::vector<RestartHint> hints(opts_.partitions);
+  for (uint32_t s = 0; s < opts_.partitions && s < durability_.size(); s++) {
+    hints[s].seq_floor = durability_[s]->persisted_seq_floor();
+    // The recovered store reflects everything executed below this frontier
+    // (snapshot restore + log-tail replay), so the engine may resume there;
+    // slots between it and the crash frontier are re-learned from peers and
+    // deduplicated by the durable admit filter.
+    hints[s].exec_floor = durability_[s]->persisted_exec_floor();
+  }
+  return hints;
+}
+
+bool Deployment::AdmitDurable(uint32_t shard, const common::Dot& dot,
+                              const Command& cmd) {
+  if (durability_.empty() || !dot.valid()) {
+    return true;
+  }
+  if (!durability_[shard]->Admit(dot, cmd)) {
+    return false;
+  }
+  // Keep the reserved sequence floor ahead of the live engine's counter so a
+  // restart never re-mints a dot some peer already executed.
+  durability_[shard]->NoteSeqFloor(shard_engine(shard).restart_hint().seq_floor);
+  return true;
 }
 
 }  // namespace smr

@@ -32,6 +32,7 @@
 
 #include "src/common/check.h"
 #include "src/common/types.h"
+#include "src/dur/shard_durability.h"
 #include "src/exec/laned_store.h"
 #include "src/smr/command.h"
 #include "src/smr/conflict_index.h"
@@ -105,9 +106,21 @@ struct DeploymentOptions {
   // laned store but apply inline through it — a deterministic fallback with
   // byte-identical state and digests at every thread count. 0 keeps plain
   // per-shard stores and inline execution (byte-identical to the seed; the
-  // determinism pins rely on this). Requires the default kvs::KvStore service
-  // (lane decomposition is defined on its operations).
+  // determinism pins rely on this). Composes with state_machine_factory: the
+  // laned store builds one backend instance per lane through the factory and
+  // routes via StateMachine::LaneHint.
   size_t executor_threads = 0;
+
+  // Persistence (src/dur): non-empty enables the per-shard commit log +
+  // snapshot subsystem under <data_dir>/shard-N/. The Deployment constructor
+  // recovers from whatever it finds there (snapshot restore + log-tail
+  // replay), so restart-from-disk is just "construct with the same data_dir".
+  // Empty (the default) keeps the deployment fully in-memory and
+  // byte-identical to the seed — the determinism/alloc pins rely on this.
+  std::string data_dir;
+  // Appends between automatic per-shard snapshots (0: only explicit ones).
+  uint64_t snapshot_every = 4096;
+  dur::FsyncMode fsync_mode = dur::FsyncMode::kBatch;
 };
 
 class Deployment {
@@ -176,21 +189,84 @@ class Deployment {
   void ApplyRestartHints(const std::vector<RestartHint>& hints);
   void NotifyRestore(common::ProcessId p, const std::vector<RestartHint>& hints);
 
+  // ---- Durability (only meaningful with a non-empty data_dir) ----
+
+  bool durable() const { return !durability_.empty(); }
+
+  // True when the constructor found and recovered prior on-disk state; the
+  // driver must then ApplyRestartHints(RecoveredRestartHints()) after
+  // Bind + OnStart, and should announce itself to peers for catch-up.
+  bool HasRecoveredState() const { return recovered_; }
+  std::vector<RestartHint> RecoveredRestartHints() const;
+
+  // What a restarted replica advertises to peers: per-shard executed-dot
+  // frontiers (encoded) plus reserved sequence floors, captured immutably at
+  // construction so any thread may read it without touching live shard state.
+  struct CatchupAdvert {
+    struct Shard {
+      uint64_t seq_floor = 0;
+      std::string frontier;  // dur::DotFrontier encoding
+    };
+    std::vector<Shard> shards;
+  };
+  const CatchupAdvert& catchup_advert() const { return catchup_advert_; }
+
+  // Duplicate filter + commit-log append for an executed engine-level command.
+  // True => first execution, caller applies it; false => the dot was already
+  // executed (restart replay / catch-up re-delivery), skip the apply. Always
+  // true when durability is off or the dot is invalid (timer-less drivers).
+  // Also refreshes the shard's reserved sequence floor off the live engine.
+  bool AdmitDurable(uint32_t shard, const common::Dot& dot, const Command& cmd);
+
+  // Snapshot policy for drivers that must quiesce concurrent appliers first
+  // (the executor-pool worker calls WaitIdle, then WriteShardSnapshot). The
+  // inline apply paths below snapshot automatically.
+  bool SnapshotDue(uint32_t shard) const {
+    return durable() && durability_[shard]->SnapshotDue();
+  }
+  void WriteShardSnapshot(uint32_t shard) {
+    if (durable()) {
+      // restart_hint() is read from the shard's own apply path (the same
+      // thread that runs the engine), like the AdmitDurable floor refresh.
+      durability_[shard]->WriteSnapshot(*stores_[shard],
+                                       shard_engine(shard).restart_hint().exec_floor);
+    }
+  }
+
+  // The shard's durability facade (catch-up streaming), or nullptr.
+  dur::ShardDurability* durability(uint32_t shard) const {
+    return durability_.empty() ? nullptr : durability_[shard].get();
+  }
+
   // Applies one executed engine-level command — unpacking kBatch composites in
   // encoded order — to the right per-shard store, bumping applied counts, then
   // invokes fn(shard, sub_command, result) per client command (noOps included;
   // they apply as no-ops and carry client 0). The unpack scratch is reused
-  // across calls (allocation-free for warm capacities).
+  // across calls (allocation-free for warm capacities). `dot` is the executed
+  // command's identifier, used for durable logging/dedup; pass an invalid dot
+  // (default Dot{}) when durability is off.
   template <class Fn>
-  void ApplyExecuted(const Command& cmd, Fn&& fn) {
+  void ApplyExecuted(const common::Dot& dot, const Command& cmd, Fn&& fn) {
     if (cmd.is_batch()) {
       CHECK(UnpackBatch(cmd, exec_scratch_));
+      // Every sub-command of a batch shares its shard (the submission path
+      // routed the batch there), so admit the composite once.
+      uint32_t shard = ShardOfCmd(exec_scratch_.front());
+      if (!AdmitDurable(shard, dot, cmd)) {
+        return;
+      }
       for (const Command& sub : exec_scratch_) {
         ApplyOne(sub, fn);
       }
+      MaybeSnapshotInline(shard);
+      return;
+    }
+    uint32_t shard = ShardOfCmd(cmd);
+    if (!AdmitDurable(shard, dot, cmd)) {
       return;
     }
     ApplyOne(cmd, fn);
+    MaybeSnapshotInline(shard);
   }
 
   // Threaded-runtime variant of ApplyExecuted: applies a command executed by
@@ -202,16 +278,21 @@ class Deployment {
   // applied_counts_[shard] is written by shard's worker alone — readers must
   // synchronize via worker join (or use the runtime's atomic counters).
   template <class Fn>
-  void ApplyExecutedShard(uint32_t shard, const Command& cmd,
-                          std::vector<Command>& scratch, Fn&& fn) {
+  void ApplyExecutedShard(uint32_t shard, const common::Dot& dot,
+                          const Command& cmd, std::vector<Command>& scratch,
+                          Fn&& fn) {
+    if (!AdmitDurable(shard, dot, cmd)) {
+      return;
+    }
     if (cmd.is_batch()) {
       CHECK(UnpackBatch(cmd, scratch));
       for (const Command& sub : scratch) {
         ApplyOneShard(shard, sub, fn);
       }
-      return;
+    } else {
+      ApplyOneShard(shard, cmd, fn);
     }
-    ApplyOneShard(shard, cmd, fn);
+    MaybeSnapshotInline(shard);
   }
 
   // Invokes fn(sub_command) for every client command a committed engine-level
@@ -246,6 +327,15 @@ class Deployment {
   }
 
  private:
+  // Inline-apply snapshot trigger: the caller just applied through the store
+  // on this thread, so no quiesce is needed.
+  void MaybeSnapshotInline(uint32_t shard) {
+    if (durable() && durability_[shard]->SnapshotDue()) {
+      durability_[shard]->WriteSnapshot(*stores_[shard],
+                                       shard_engine(shard).restart_hint().exec_floor);
+    }
+  }
+
   template <class Fn>
   void ApplyOne(const Command& cmd, Fn&& fn) {
     uint32_t shard = ShardOfCmd(cmd);
@@ -269,6 +359,10 @@ class Deployment {
   std::unique_ptr<std::atomic<uint64_t>[]> applied_counts_;
   std::vector<Command> exec_scratch_;    // kBatch unpack reuse (execute path)
   std::vector<Command> commit_scratch_;  // ... commit-notification path
+  // Per-shard persistence (empty when data_dir is empty).
+  std::vector<std::unique_ptr<dur::ShardDurability>> durability_;
+  bool recovered_ = false;
+  CatchupAdvert catchup_advert_;
 };
 
 }  // namespace smr

@@ -1,0 +1,64 @@
+#include "src/smr/state_machine.h"
+
+namespace smr {
+
+uint32_t StateMachine::LaneHint(const Command& cmd,
+                                const LaneRouter& router) const {
+  if (cmd.op == Op::kRange) {
+    // An interval footprint touches every lane that holds a key in [key, end).
+    return kCrossLane;
+  }
+  uint32_t l = router.LaneOfKey(cmd.key);
+  if (router.lanes() > 1) {
+    for (const std::string& k : cmd.more_keys) {
+      if (router.LaneOfKey(k) != l) {
+        return kCrossLane;
+      }
+    }
+  }
+  return l;
+}
+
+std::string StateMachine::ApplyAcross(const Command& cmd, LanePartition& lanes) {
+  switch (cmd.op) {
+    case Op::kScan: {
+      // Concatenate in command key order (not lane order) — identical to the
+      // flat store's scan.
+      std::string out;
+      const std::string* v = lanes.lane(lanes.LaneOfKey(cmd.key)).LookupKey(cmd.key);
+      if (v != nullptr) {
+        out += *v;
+      }
+      for (const std::string& k : cmd.more_keys) {
+        const std::string* mv = lanes.lane(lanes.LaneOfKey(k)).LookupKey(k);
+        if (mv != nullptr) {
+          out += *mv;
+        }
+      }
+      return out;
+    }
+    case Op::kMPut: {
+      std::string_view value(cmd.value.data(), cmd.value.size());
+      lanes.lane(lanes.LaneOfKey(cmd.key)).PutKey(cmd.key, value);
+      for (const std::string& k : cmd.more_keys) {
+        lanes.lane(lanes.LaneOfKey(k)).PutKey(k, value);
+      }
+      return "";
+    }
+    default:
+      // Single-key ops never span lanes; route to the primary key's lane.
+      return lanes.lane(lanes.LaneOfKey(cmd.key)).Apply(cmd);
+  }
+}
+
+const std::string* StateMachine::LookupKey(const std::string& key) const {
+  (void)key;
+  return nullptr;
+}
+
+void StateMachine::PutKey(const std::string& key, std::string_view value) {
+  (void)key;
+  (void)value;
+}
+
+}  // namespace smr

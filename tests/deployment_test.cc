@@ -155,15 +155,15 @@ TEST(DeploymentTest, ApplyExecutedRoutesToPerShardStores) {
   auto record = [&seen](uint32_t shard, const smr::Command& sub, std::string&&) {
     seen.emplace_back(shard, sub);
   };
-  dep.ApplyExecuted(smr::MakePut(1, 1, key_a, "va"), record);
-  dep.ApplyExecuted(smr::MakePut(1, 2, key_b, "vb"), record);
+  dep.ApplyExecuted(common::Dot{}, smr::MakePut(1, 1, key_a, "va"), record);
+  dep.ApplyExecuted(common::Dot{}, smr::MakePut(1, 2, key_b, "vb"), record);
 
   // A batch (all sub-commands shard-local by construction) unpacks in encoded
   // order and lands on its shard's store.
   std::vector<smr::Command> subs;
   subs.push_back(smr::MakeRmw(2, 1, key_a, "+1"));
   subs.push_back(smr::MakeRmw(2, 2, key_a, "+2"));
-  dep.ApplyExecuted(smr::MakeBatch(subs), record);
+  dep.ApplyExecuted(common::Dot{}, smr::MakeBatch(subs), record);
 
   ASSERT_EQ(seen.size(), 4u);
   EXPECT_EQ(seen[0].first, shard_a);
@@ -181,7 +181,7 @@ TEST(DeploymentTest, ApplyExecutedRoutesToPerShardStores) {
 
   // noOps apply nowhere and don't count, but still reach the callback (checker
   // histories include them).
-  dep.ApplyExecuted(smr::MakeNoOp(), record);
+  dep.ApplyExecuted(common::Dot{}, smr::MakeNoOp(), record);
   ASSERT_EQ(seen.size(), 5u);
   EXPECT_EQ(dep.applied_count(0) + dep.applied_count(1) + dep.applied_count(2) +
                 dep.applied_count(3),

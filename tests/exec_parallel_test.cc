@@ -211,7 +211,11 @@ TEST(ExecPoolTest, LanedStoreDigestEqualsFlatStoreDigest) {
       laned.Apply(cmd);
     }
     EXPECT_EQ(laned.StateDigest(), flat.StateDigest()) << "E=" << lanes;
-    EXPECT_EQ(laned.size(), flat.size()) << "E=" << lanes;
+    size_t total = 0;
+    for (uint32_t l = 0; l < lanes; l++) {
+      total += static_cast<const kvs::KvStore&>(laned.lane_store(l)).size();
+    }
+    EXPECT_EQ(total, flat.size()) << "E=" << lanes;
   }
 }
 
@@ -262,10 +266,10 @@ ShardState SimulatorReference(smr::Protocol protocol, size_t executor_threads) {
         MakeOptions(protocol, /*threaded=*/false, executor_threads)));
     sim.AddEngine(&replicas[i]->engine());
   }
-  sim.SetExecutedHandler([&](common::ProcessId p, const common::Dot&,
+  sim.SetExecutedHandler([&](common::ProcessId p, const common::Dot& dot,
                              const smr::Command& cmd) {
     replicas[p]->ApplyExecuted(
-        cmd, [](uint32_t, const smr::Command&, std::string&&) {});
+        dot, cmd, [](uint32_t, const smr::Command&, std::string&&) {});
   });
   sim.Start();
   for (uint64_t c = 1; c <= kClients; c++) {

@@ -73,10 +73,10 @@ ShardState SimulatorReference() {
     replicas.push_back(std::make_unique<smr::Deployment>(MakeOptions(0)));
     sim.AddEngine(&replicas[i]->engine());
   }
-  sim.SetExecutedHandler([&](common::ProcessId p, const common::Dot&,
+  sim.SetExecutedHandler([&](common::ProcessId p, const common::Dot& dot,
                              const smr::Command& cmd) {
     replicas[p]->ApplyExecuted(
-        cmd, [](uint32_t, const smr::Command&, std::string&&) {});
+        dot, cmd, [](uint32_t, const smr::Command&, std::string&&) {});
   });
   sim.Start();
 

@@ -105,6 +105,20 @@ if [ -f "$CUR/BENCH_wallclock.json" ]; then
     floor_check BENCH_wallclock.json "wallclock_${proto}_p8_vs_p2" \
       items_per_sec "$(slack 1.0)" "fig_wallclock $proto P=8 vs P=2"
   done
+  # Durability overhead (commit log + batched fsync at P=4): raw filesystem
+  # behaviour varies too much across hosts/runners to gate, so this is
+  # warn-only — it flags when persistence costs more than half the inline
+  # throughput but never fails the check.
+  for proto in atlas epaxos mencius; do
+    v=$(jget "$CUR/BENCH_wallclock.json" \
+      "wallclock_${proto}_p4_durable_vs_inline" items_per_sec)
+    [ -n "$v" ] || continue
+    if cmp_ge "$v" 0.5; then
+      echo "ok:   fig_wallclock $proto P=4 durable vs inline = ${v}x (warn floor 0.5x)"
+    else
+      warn "fig_wallclock $proto P=4 durable vs inline = ${v}x (< 0.5x; fsync overhead, warn-only)"
+    fi
+  done
 fi
 
 # --- baseline diff ---------------------------------------------------------

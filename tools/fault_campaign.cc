@@ -25,9 +25,11 @@ void PrintUsage() {
       stderr,
       "usage: fault_campaign [--pack NAME|all] [--seed S] [--seeds N]\n"
       "                      [--protocol atlas|epaxos|mencius|all] [--partitions P]\n"
-      "                      [--smoke] [--list]\n"
+      "                      [--data-dir DIR] [--smoke] [--list]\n"
       "  --seed S       first seed (default 1)\n"
       "  --seeds N      sweep N consecutive seeds starting at --seed (default 1)\n"
+      "  --data-dir DIR persist commit logs + snapshots per tuple under DIR;\n"
+      "                 scheduled restarts recover from disk (see src/dur)\n"
       "  --smoke        CI preset: all packs, 2 seeds, atlas, P=1\n"
       "  --list         print the scenario packs and exit\n");
 }
@@ -38,6 +40,7 @@ struct Args {
   uint64_t seeds = 1;
   std::string protocol = "atlas";
   uint32_t partitions = 1;
+  std::string data_dir;
   bool list = false;
 };
 
@@ -71,6 +74,10 @@ bool Parse(int argc, char** argv, Args& args) {
       const char* v = next("--partitions");
       if (v == nullptr) return false;
       args.partitions = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--data-dir") {
+      const char* v = next("--data-dir");
+      if (v == nullptr) return false;
+      args.data_dir = v;
     } else if (a == "--smoke") {
       args.pack = "all";
       args.seeds = 2;
@@ -142,6 +149,7 @@ int main(int argc, char** argv) {
         spec.seed = args.seed + s;
         spec.protocol = protocol;
         spec.partitions = args.partitions;
+        spec.data_dir = args.data_dir;
         fault::RunResult r = fault::RunScenario(spec);
         runs++;
         std::printf(
